@@ -1,0 +1,24 @@
+package main
+
+import (
+	"ipregel/internal/femtograph"
+	"ipregel/internal/graph"
+)
+
+// Thin aliases keeping main.go readable.
+
+func femtographConfig(threads int) femtograph.Config {
+	return femtograph.Config{Threads: threads}
+}
+
+func femtographPageRank(g *graph.Graph, cfg femtograph.Config, rounds int) ([]float64, femtograph.Report, error) {
+	return femtograph.PageRank(g, cfg, rounds)
+}
+
+func femtographHashmin(g *graph.Graph, cfg femtograph.Config) ([]uint32, femtograph.Report, error) {
+	return femtograph.Hashmin(g, cfg)
+}
+
+func femtographSSSP(g *graph.Graph, cfg femtograph.Config, source graph.VertexID) ([]uint32, femtograph.Report, error) {
+	return femtograph.SSSP(g, cfg, source)
+}

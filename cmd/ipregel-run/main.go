@@ -1,0 +1,254 @@
+// Command ipregel-run executes one vertex-centric application on one
+// graph with one iPregel engine version, printing runtime, superstep and
+// memory statistics — the single-experiment workhorse.
+//
+// Usage:
+//
+//	ipregel-run -app pagerank -graph wiki -combiner broadcast
+//	ipregel-run -app sssp -graph usa -combiner spinlock -bypass -source 2
+//	ipregel-run -app hashmin -graph-file path/to/usa.gr.gz -combiner mutex
+//	ipregel-run -app wsssp -graph road:200:200 -combiner spinlock -bypass
+//	ipregel-run -app pagerank -graph rmat:16:8 -framework pregelplus -nodes 4
+//
+// Graphs come either from a file (-graph-file, format by extension:
+// .gr DIMACS, .tsv KONECT, .bin binary, .gz variants, else edge list) or
+// from a generator spec (-graph, see internal/gen.ByName).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ipregel/internal/algorithms"
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+	"ipregel/internal/graph"
+	"ipregel/internal/graphio"
+	"ipregel/internal/memmodel"
+	"ipregel/internal/pregelplus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ipregel-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ipregel-run", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		app       = fs.String("app", "pagerank", "application: pagerank | pagerank-converged | hashmin | wcc | scc | sssp | wsssp | bfs | reach64")
+		graphSpec = fs.String("graph", "wiki", "generator spec (wiki | usa | twitter | friendster | rmat:s:ef | road:r:c | er:n:m | ring:n | star:n | chain:n)")
+		graphFile = fs.String("graph-file", "", "load a graph file instead of generating")
+		divisor   = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
+		framework = fs.String("framework", "ipregel", "ipregel | pregelplus | femtograph (see DESIGN.md)")
+		combiner  = fs.String("combiner", "spinlock", "iPregel combiner: mutex | spinlock | broadcast")
+		address   = fs.String("addressing", "offset", "iPregel addressing: direct | offset | desolate | hashmap")
+		bypass    = fs.Bool("bypass", false, "enable selection bypass (Hashmin/SSSP only)")
+		threads   = fs.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		rounds    = fs.Int("rounds", 30, "PageRank iterations")
+		source    = fs.Uint("source", 2, "SSSP/BFS source vertex identifier")
+		nodes     = fs.Int("nodes", 1, "pregelplus: simulated node count")
+		verbose   = fs.Bool("v", false, "print per-superstep statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(out, *graphFile, *graphSpec, *divisor, *app == "wsssp")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, graph.ComputeStats(*graphSpec, g))
+
+	switch *framework {
+	case "pregelplus":
+		return runPregelPlus(out, g, *app, *rounds, graph.VertexID(*source), *nodes)
+	case "femtograph":
+		return runFemtograph(out, g, *app, *rounds, graph.VertexID(*source), *threads)
+	case "ipregel":
+	default:
+		return fmt.Errorf("unknown framework %q", *framework)
+	}
+
+	comb, err := core.ParseCombiner(*combiner)
+	if err != nil {
+		return err
+	}
+	addr, err := core.ParseAddressing(*address)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Combiner: comb, Addressing: addr, SelectionBypass: *bypass, Threads: *threads}
+
+	var rep core.Report
+	peak, baseline := memmodel.MeasurePeakHeap(func() {
+		switch *app {
+		case "pagerank":
+			_, rep, err = algorithms.PageRank(g, cfg, *rounds)
+		case "hashmin":
+			var labels []uint32
+			labels, rep, err = algorithms.Hashmin(g, cfg)
+			if err == nil {
+				fmt.Fprintf(out, "components: %d\n", algorithms.ComponentCount(labels))
+			}
+		case "sssp":
+			var dist []uint32
+			dist, rep, err = algorithms.SSSP(g, cfg, graph.VertexID(*source))
+			if err == nil {
+				fmt.Fprintf(out, "reached: %d of %d vertices\n", countReached(dist), len(dist))
+			}
+		case "wsssp":
+			var dist []uint32
+			dist, rep, err = algorithms.WeightedSSSP(g, cfg, graph.VertexID(*source))
+			if err == nil {
+				fmt.Fprintf(out, "reached: %d of %d vertices\n", countReached(dist), len(dist))
+			}
+		case "pagerank-converged":
+			var ranks []float64
+			ranks, rep, err = algorithms.PageRankConverged(g, cfg, 1e-9)
+			if err == nil {
+				fmt.Fprintf(out, "converged in %d supersteps over %d vertices\n", rep.Supersteps, len(ranks))
+			}
+		case "bfs":
+			var states []algorithms.BFSState
+			states, rep, err = algorithms.BFS(g, cfg, graph.VertexID(*source))
+			if err == nil {
+				n := 0
+				for _, s := range states {
+					if s.Depth != algorithms.Infinity {
+						n++
+					}
+				}
+				fmt.Fprintf(out, "reached: %d of %d vertices\n", n, len(states))
+			}
+		case "wcc":
+			var labels []uint32
+			labels, rep, err = algorithms.WCC(g, cfg)
+			if err == nil {
+				fmt.Fprintf(out, "weak components: %d\n", algorithms.ComponentCount(labels))
+			}
+		case "scc":
+			var labels []uint32
+			labels, err = algorithms.SCC(g, cfg)
+			if err == nil {
+				fmt.Fprintf(out, "strong components: %d\n", algorithms.ComponentCount(labels))
+			}
+		case "reach64":
+			var masks []uint64
+			seeds := []graph.VertexID{graph.VertexID(*source)}
+			masks, rep, err = algorithms.Reach64(g, cfg, seeds)
+			if err == nil {
+				n := 0
+				for _, m := range masks {
+					if m != 0 {
+						n++
+					}
+				}
+				fmt.Fprintf(out, "reached: %d of %d vertices\n", n, len(masks))
+			}
+		default:
+			err = fmt.Errorf("unknown app %q", *app)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	fmt.Fprintf(out, "peak heap: %s (baseline %s)\n", memmodel.GB(peak), memmodel.GB(baseline))
+	if *verbose {
+		fmt.Fprint(out, rep.Table())
+	}
+	return nil
+}
+
+func loadGraph(out io.Writer, file, spec string, divisor int, weighted bool) (*graph.Graph, error) {
+	start := time.Now()
+	var g *graph.Graph
+	var err error
+	switch {
+	case file != "":
+		g, err = graphio.ReadFile(file, graphio.Options{BuildInEdges: !weighted, KeepWeights: weighted})
+	case weighted:
+		// Weighted runs on generated graphs use a weighted road grid:
+		// "road:<rows>:<cols>" (weights drawn from [1, 1000]).
+		var r, c int
+		if _, serr := fmt.Sscanf(spec, "road:%d:%d", &r, &c); serr != nil {
+			return nil, fmt.Errorf("wsssp needs -graph-file (DIMACS with weights) or -graph road:<rows>:<cols>")
+		}
+		g = gen.WeightedRoad(gen.RoadParams{Rows: r, Cols: c, Base: 1, Seed: 1}, 1, 1000)
+	default:
+		g, err = gen.ByName(spec, gen.PresetParams{Divisor: divisor, BuildInEdges: true})
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "graph ready in %v (loading excluded from runtime, as in the paper §7.1.2)\n", time.Since(start).Round(time.Millisecond))
+	return g, nil
+}
+
+func runPregelPlus(out io.Writer, g *graph.Graph, app string, rounds int, source graph.VertexID, nodes int) error {
+	cfg := pregelplus.ClusterConfig{Nodes: nodes, ProcsPerNode: 2}
+	var rep pregelplus.Report
+	var err error
+	switch app {
+	case "pagerank":
+		_, rep, err = pregelplus.PageRank(g, cfg, rounds)
+	case "hashmin":
+		_, rep, err = pregelplus.Hashmin(g, cfg)
+	case "sssp":
+		_, rep, err = pregelplus.SSSP(g, cfg, source)
+	default:
+		return fmt.Errorf("pregelplus supports pagerank | hashmin | sssp, not %q", app)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Pregel+ %d node(s): simulated %v (compute %v + network %v), %d supersteps, %d messages, %s on the wire, peak framework memory %s\n",
+		nodes, rep.SimTime.Round(time.Microsecond), rep.ComputeTime.Round(time.Microsecond), rep.NetTime.Round(time.Microsecond),
+		rep.Supersteps, rep.Messages, memmodel.GB(rep.WireBytes), memmodel.GB(rep.PeakMemoryBytes))
+	return nil
+}
+
+func runFemtograph(out io.Writer, g *graph.Graph, app string, rounds int, source graph.VertexID, threads int) error {
+	// Imported lazily via the bench experiment normally; direct runs go
+	// through the same public helpers.
+	cfg := femtographConfig(threads)
+	var err error
+	var dur time.Duration
+	var supersteps int
+	var peakQ uint64
+	switch app {
+	case "pagerank":
+		_, rep, e := femtographPageRank(g, cfg, rounds)
+		dur, supersteps, peakQ, err = rep.Duration, rep.Supersteps, rep.PeakQueuedMessages, e
+	case "hashmin":
+		_, rep, e := femtographHashmin(g, cfg)
+		dur, supersteps, peakQ, err = rep.Duration, rep.Supersteps, rep.PeakQueuedMessages, e
+	case "sssp":
+		_, rep, e := femtographSSSP(g, cfg, source)
+		dur, supersteps, peakQ, err = rep.Duration, rep.Supersteps, rep.PeakQueuedMessages, e
+	default:
+		return fmt.Errorf("femtograph supports pagerank | hashmin | sssp, not %q", app)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "femtograph-style: %v, %d supersteps, peak queued messages %d\n", dur.Round(time.Microsecond), supersteps, peakQ)
+	return nil
+}
+
+func countReached(dist []uint32) int {
+	n := 0
+	for _, d := range dist {
+		if d != algorithms.Infinity {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestRunAppsOnGeneratedGraphs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-app", "pagerank", "-graph", "rmat:8:4", "-combiner", "broadcast", "-rounds", "5"}, "broadcast"},
+		{[]string{"-app", "hashmin", "-graph", "ring:30", "-combiner", "spinlock", "-bypass"}, "components: 1"},
+		{[]string{"-app", "sssp", "-graph", "road:10:10", "-combiner", "mutex", "-source", "1"}, "reached: 100 of 100"},
+		{[]string{"-app", "bfs", "-graph", "chain:10", "-source", "0"}, "reached: 10 of 10"},
+		{[]string{"-app", "wsssp", "-graph", "road:8:8", "-combiner", "spinlock", "-source", "1"}, "reached: 64 of 64"},
+		{[]string{"-app", "pagerank-converged", "-graph", "rmat:7:4", "-combiner", "spinlock"}, "converged in"},
+		{[]string{"-app", "pagerank", "-graph", "ring:20", "-framework", "pregelplus", "-nodes", "3", "-rounds", "3"}, "Pregel+ 3 node(s)"},
+		{[]string{"-app", "sssp", "-graph", "ring:20", "-framework", "femtograph"}, "femtograph-style"},
+		{[]string{"-app", "hashmin", "-graph", "ring:10", "-v"}, "superstep"},
+		{[]string{"-app", "wcc", "-graph", "chain:10"}, "weak components: 1"},
+		{[]string{"-app", "scc", "-graph", "ring:12"}, "strong components: 1"},
+		{[]string{"-app", "reach64", "-graph", "chain:10", "-source", "0"}, "reached: 10 of 10"},
+	}
+	for _, c := range cases {
+		out := runOK(t, c.args...)
+		if !strings.Contains(out, c.want) {
+			t.Fatalf("args %v: output missing %q:\n%s", c.args, c.want, out)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("1 2\n2 3\n3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-app", "hashmin", "-graph-file", path)
+	if !strings.Contains(out, "components: 1") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunWeightedFromDIMACSFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.gr")
+	if err := os.WriteFile(path, []byte("p sp 3 3\na 1 2 5\na 2 3 5\na 1 3 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-app", "wsssp", "-graph-file", path, "-source", "1")
+	if !strings.Contains(out, "reached: 3 of 3") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-app", "nope", "-graph", "ring:5"},
+		{"-graph", "bogus"},
+		{"-combiner", "bogus", "-graph", "ring:5"},
+		{"-addressing", "bogus", "-graph", "ring:5"},
+		{"-framework", "bogus", "-graph", "ring:5"},
+		{"-app", "wsssp", "-graph", "ring:5"},                           // weighted needs road spec or file
+		{"-app", "bfs", "-graph", "ring:5", "-framework", "pregelplus"}, // unsupported on baseline
+		{"-app", "bfs", "-graph", "ring:5", "-framework", "femtograph"}, // unsupported on baseline
+		{"-app", "pagerank", "-graph", "ring:5", "-bypass"},             // PageRank under bypass (§4)
+		{"-badflag"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

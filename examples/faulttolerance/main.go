@@ -1,0 +1,111 @@
+// Fault tolerance: the Pregel model's barrier checkpointing, demonstrated
+// end-to-end. A long SSSP computation on a road network checkpoints every
+// few supersteps; the run is "crashed" at a chosen barrier, restored from
+// the last checkpoint on disk, and resumed — and the resumed result is
+// verified identical to an uninterrupted run.
+//
+//	go run ./examples/faulttolerance [-rows 150] [-cols 150] [-every 25]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ipregel/internal/algorithms"
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+	"ipregel/internal/graph"
+	"ipregel/internal/pregelplus"
+)
+
+func main() {
+	rows := flag.Int("rows", 120, "grid rows")
+	cols := flag.Int("cols", 120, "grid cols")
+	every := flag.Int("every", 25, "checkpoint every N supersteps")
+	flag.Parse()
+
+	g := gen.Road(gen.RoadParams{Rows: *rows, Cols: *cols, Base: 1, BuildInEdges: true})
+	fmt.Println(graph.ComputeStats("road", g))
+	cfg := core.Config{Combiner: core.CombinerSpin, SelectionBypass: true}
+	prog := algorithms.SSSPProgram(1)
+
+	// Ground truth: uninterrupted run.
+	refEngine, refRep, err := core.Run(g, cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uninterrupted: %d supersteps, %v\n", refRep.Supersteps, refRep.Duration.Round(1000))
+
+	// Checkpointed run that "crashes" partway: the engine checkpoints to
+	// disk; we abort it by capping supersteps mid-flight.
+	dir, err := os.MkdirTemp("", "ipregel-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	crashAt := refRep.Supersteps / 2
+	crashCfg := cfg
+	crashCfg.MaxSupersteps = crashAt // the simulated crash
+	e, err := core.New(g, crashCfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lastCkpt string
+	var open []*os.File // the engine does not close sinks
+	if err := e.SetCheckpointer(core.Checkpointer[uint32, uint32]{
+		Every: *every,
+		Sink: func(s int) (io.Writer, error) {
+			lastCkpt = filepath.Join(dir, fmt.Sprintf("ckpt-%05d", s))
+			f, err := os.Create(lastCkpt)
+			if err != nil {
+				return nil, err
+			}
+			open = append(open, f)
+			return f, nil
+		},
+		VCodec: pregelplus.Uint32Codec{},
+		MCodec: pregelplus.Uint32Codec{},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	_, err = e.Run()
+	for _, f := range open {
+		f.Close()
+	}
+	if !errors.Is(err, core.ErrMaxSupersteps) {
+		log.Fatalf("expected the simulated crash, got %v", err)
+	}
+	fmt.Printf("crashed at superstep %d; last checkpoint: %s\n", crashAt, filepath.Base(lastCkpt))
+
+	// Recovery: restore from the last checkpoint and resume.
+	f, err := os.Open(lastCkpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := core.Restore(f, g, cfg, prog, pregelplus.Uint32Codec{}, pregelplus.Uint32Codec{})
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumedRep, err := restored.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed: %d supersteps re-executed, finished at superstep %d\n",
+		len(resumedRep.Steps), resumedRep.Supersteps)
+
+	want := refEngine.ValuesDense()
+	got := restored.ValuesDense()
+	for i := range want {
+		if want[i] != got[i] {
+			log.Fatalf("recovered result differs at vertex %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	fmt.Println("recovered result identical to the uninterrupted run ✓")
+}

@@ -1,0 +1,3 @@
+module ipregel
+
+go 1.22

@@ -1,0 +1,131 @@
+package algorithms
+
+import (
+	"ipregel/internal/graph"
+)
+
+// This file holds independent sequential implementations used as test
+// oracles. They deliberately share no code with the vertex-centric
+// programs: PageRank is a dense power iteration, SSSP/BFS are queue-based
+// breadth-first searches, and Hashmin is an edge-relaxation fixpoint.
+
+// RefPageRank computes `rounds` damped power-iteration steps matching the
+// Pregel formulation of Fig. 6: r_0 = 1/N and
+// r_{k+1}[v] = 0.15/N + 0.85 * sum over in-edges (u,v) of r_k[u]/outdeg(u).
+// Rank mass of sink vertices is dropped, as in the vertex-centric code.
+func RefPageRank(g *graph.Graph, rounds int) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1.0 / float64(n)
+	}
+	for k := 0; k < rounds; k++ {
+		base := 0.15 / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			outs := g.OutNeighbors(u)
+			if len(outs) == 0 {
+				continue
+			}
+			share := 0.85 * cur[u] / float64(len(outs))
+			for _, v := range outs {
+				next[v] += share
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// RefHashmin computes the fixpoint of minimum-label propagation along
+// out-edges, starting from each vertex's external identifier — the value
+// the Hashmin program converges to.
+func RefHashmin(g *graph.Graph) []uint32 {
+	n := g.N()
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(g.ExternalID(i))
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			lu := labels[u]
+			for _, v := range g.OutNeighbors(u) {
+				if lu < labels[v] {
+					labels[v] = lu
+					changed = true
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// RefSSSP computes unit-weight shortest-path distances from source with a
+// plain FIFO breadth-first search; Infinity marks unreachable vertices.
+func RefSSSP(g *graph.Graph, source graph.VertexID) []uint32 {
+	n := g.N()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	s := int(source - g.Base())
+	if s < 0 || s >= n {
+		return dist
+	}
+	dist[s] = 0
+	queue := make([]int, 0, 64)
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == Infinity {
+				dist[v] = du + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist
+}
+
+// RefBFS computes the BFSState oracle: depths by breadth-first search and
+// parents as the minimum external identifier among predecessors one level
+// closer to the source.
+func RefBFS(g *graph.Graph, source graph.VertexID) []BFSState {
+	dist := RefSSSP(g, source)
+	n := g.N()
+	out := make([]BFSState, n)
+	for i := range out {
+		out[i] = BFSState{Parent: Infinity, Depth: dist[i]}
+	}
+	for u := 0; u < n; u++ {
+		if dist[u] == Infinity {
+			continue
+		}
+		idu := uint32(g.ExternalID(u))
+		for _, v := range g.OutNeighbors(u) {
+			if dist[v] == dist[u]+1 && idu < out[v].Parent {
+				out[v].Parent = idu
+			}
+		}
+	}
+	return out
+}
+
+// ComponentCount returns the number of distinct labels, a convenient
+// summary for Hashmin results.
+func ComponentCount(labels []uint32) int {
+	seen := make(map[uint32]struct{}, 64)
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

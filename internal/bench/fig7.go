@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipregel/internal/plot"
+	"ipregel/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: runtime of iPregel on PageRank, Hashmin and SSSP as the version varies",
+		Run:   runFig7,
+	})
+}
+
+// runFig7 reproduces the paper's first experiment round (§7.2): every
+// compatible engine version per application per graph. The shape claims
+// it checks against the paper:
+//
+//   - PageRank: broadcast < spinlock < mutex (broadcast roughly halves
+//     spinlock; spinlock ≈30% under mutex);
+//   - Hashmin/SSSP: spinlock+bypass fastest, broadcast without bypass
+//     slowest, bypass helps every combiner;
+//   - the bypass gap is far larger on the low-density road graph,
+//     extreme for SSSP.
+func runFig7(o *Options, w io.Writer) error {
+	var csvRows [][]string
+	for _, graphName := range []string{"wiki", "usa"} {
+		g, err := o.Graph(graphName)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n--- %s graph (|V|=%d |E|=%d) ---\n", graphName, g.N(), g.M())
+		for _, app := range apps(o) {
+			fmt.Fprintf(w, "%s:\n", app.name)
+			type row struct {
+				version string
+				m       stats.Measurement
+			}
+			var rows []row
+			best, worst := -1, -1
+			for _, cfg := range versionsFor(app) {
+				m, err := measureIP(o, app, g, cfg)
+				if err != nil {
+					return fmt.Errorf("%s/%s/%s: %w", graphName, app.name, cfg.VersionName(), err)
+				}
+				rows = append(rows, row{cfg.VersionName(), m})
+				csvRows = append(csvRows, []string{graphName, app.name, cfg.VersionName(),
+					itoa(int64(m.Mean)), itoa(int64(m.Margin)), itoa(int64(m.Reps))})
+				i := len(rows) - 1
+				if best < 0 || m.Mean < rows[best].m.Mean {
+					best = i
+				}
+				if worst < 0 || m.Mean > rows[worst].m.Mean {
+					worst = i
+				}
+			}
+			for i, r := range rows {
+				mark := " "
+				if i == best {
+					mark = "*" // fastest version, the paper's per-app winner
+				}
+				fmt.Fprintf(w, "  %s %-20s %s\n", mark, r.version, r.m)
+			}
+			speedup := float64(rows[worst].m.Mean) / float64(rows[best].m.Mean)
+			fmt.Fprintf(w, "    fastest=%s slowest=%s ratio=%.1fx\n", rows[best].version, rows[worst].version, speedup)
+			labels := make([]string, len(rows))
+			values := make([]float64, len(rows))
+			for i, r := range rows {
+				labels[i] = r.version
+				values[i] = float64(r.m.Mean) / 1e6 // ms
+			}
+			fmt.Fprint(w, plot.Bars(fmt.Sprintf("  runtime (ms), %s on %s:", app.name, graphName), labels, values, 46))
+		}
+	}
+	return saveCSV(o, "fig7", []string{"graph", "app", "version", "mean_ns", "margin_ns", "reps"}, csvRows)
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipregel/internal/pregelplus"
+	"ipregel/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "speedups",
+		Title: "§7.3/§8: single-node speedup of iPregel over Pregel+ per application and graph (paper median 6.5x)",
+		Run:   runSpeedups,
+	})
+}
+
+// runSpeedups reproduces the paper's headline comparison: on one node,
+// iPregel's best version versus Pregel+ (2 processes), per application
+// and graph. The paper reports factors of 3.57 and 6.47 (PageRank on
+// Wikipedia/USA), ~7 and ~70 (SSSP), 6.5 and 5 (Hashmin) — median 6.5,
+// minimum 3.5.
+func runSpeedups(o *Options, w io.Writer) error {
+	var factors []float64
+	fmt.Fprintf(w, "%-10s %-6s %16s %16s %10s\n", "app", "graph", "iPregel", "Pregel+ (1 node)", "speedup")
+	for _, graphName := range []string{"wiki", "usa"} {
+		g, err := o.Graph(graphName)
+		if err != nil {
+			return err
+		}
+		for _, app := range apps(o) {
+			ip, err := measureIP(o, app, g, bestVersionFor(app))
+			if err != nil {
+				return err
+			}
+			pp, _, err := measurePP(o, app, g, pregelplus.ClusterConfig{Nodes: 1, ProcsPerNode: 2})
+			if err != nil {
+				return err
+			}
+			f := float64(pp.Mean) / float64(ip.Mean)
+			factors = append(factors, f)
+			fmt.Fprintf(w, "%-10s %-6s %16v %16v %9.2fx\n", app.name, graphName, ip.Mean, pp.Mean, f)
+		}
+	}
+	fmt.Fprintf(w, "median speedup: %.2fx (paper: 6.5x); minimum: %.2fx (paper: 3.5x)\n", stats.Median(factors), minF(factors))
+	return nil
+}
+
+func minF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

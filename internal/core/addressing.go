@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"ipregel/internal/graph"
+)
+
+// addresser translates external vertex identifiers to engine slots and
+// back (paper §5). The engine stores vertex state in flat arrays indexed
+// by slot; slot = internal graph index + shift, where shift is non-zero
+// only for desolate-memory mapping.
+type addresser interface {
+	// locate returns the slot of an external identifier.
+	locate(id graph.VertexID) int
+	// idOf returns the external identifier stored at a slot.
+	idOf(slot int) graph.VertexID
+	// slots returns the length the engine's state arrays must have.
+	slots() int
+	// shift returns slot - internalIndex (constant per scheme).
+	shift() int
+	// overheadBytes reports the scheme's own memory cost (the hashmap's
+	// table; zero for the arithmetic schemes), for memmodel accounting.
+	overheadBytes() uint64
+}
+
+// newAddresser builds the addressing module version chosen by cfg.
+func newAddresser(g *graph.Graph, kind Addressing) (addresser, error) {
+	base := g.Base()
+	switch kind {
+	case AddressDirect:
+		if base != 0 {
+			return nil, fmt.Errorf("core: direct mapping requires identifiers starting at 0, graph starts at %d (use offset or desolate mapping)", base)
+		}
+		return directAddresser{n: g.N()}, nil
+	case AddressOffset:
+		return offsetAddresser{n: g.N(), base: base}, nil
+	case AddressDesolate:
+		return desolateAddresser{n: g.N(), base: base}, nil
+	case AddressHashmap:
+		m := make(map[graph.VertexID]int32, g.N())
+		ids := make([]graph.VertexID, g.N())
+		for i := 0; i < g.N(); i++ {
+			id := g.ExternalID(i)
+			m[id] = int32(i)
+			ids[i] = id
+		}
+		return &hashAddresser{m: m, ids: ids}, nil
+	}
+	return nil, fmt.Errorf("core: unknown addressing %v", kind)
+}
+
+// directAddresser: slot == identifier (identifiers start at 0).
+type directAddresser struct{ n int }
+
+func (d directAddresser) locate(id graph.VertexID) int { return int(id) }
+func (d directAddresser) idOf(slot int) graph.VertexID { return graph.VertexID(slot) }
+func (d directAddresser) slots() int                   { return d.n }
+func (d directAddresser) shift() int                   { return 0 }
+func (d directAddresser) overheadBytes() uint64        { return 0 }
+
+// offsetAddresser: slot == identifier - base, one subtraction per lookup.
+type offsetAddresser struct {
+	n    int
+	base graph.VertexID
+}
+
+func (o offsetAddresser) locate(id graph.VertexID) int { return int(id - o.base) }
+func (o offsetAddresser) idOf(slot int) graph.VertexID { return o.base + graph.VertexID(slot) }
+func (o offsetAddresser) slots() int                   { return o.n }
+func (o offsetAddresser) shift() int                   { return 0 }
+func (o offsetAddresser) overheadBytes() uint64        { return 0 }
+
+// desolateAddresser: slot == identifier; the base slots are allocated but
+// never used, trading memory for subtraction-free addressing (§5
+// "Desolate Memory").
+type desolateAddresser struct {
+	n    int
+	base graph.VertexID
+}
+
+func (d desolateAddresser) locate(id graph.VertexID) int { return int(id) }
+func (d desolateAddresser) idOf(slot int) graph.VertexID { return graph.VertexID(slot) }
+func (d desolateAddresser) slots() int                   { return d.n + int(d.base) }
+func (d desolateAddresser) shift() int                   { return int(d.base) }
+func (d desolateAddresser) overheadBytes() uint64        { return 0 }
+
+// hashAddresser: the conventional hashmap lookup the paper replaces. Kept
+// as the measurable baseline for the addressing ablation.
+type hashAddresser struct {
+	m   map[graph.VertexID]int32
+	ids []graph.VertexID
+}
+
+func (h *hashAddresser) locate(id graph.VertexID) int {
+	slot, ok := h.m[id]
+	if !ok {
+		return -1
+	}
+	return int(slot)
+}
+func (h *hashAddresser) idOf(slot int) graph.VertexID { return h.ids[slot] }
+func (h *hashAddresser) slots() int                   { return len(h.ids) }
+func (h *hashAddresser) shift() int                   { return 0 }
+
+// overheadBytes approximates Go map storage: ~(key+value+overhead) per
+// entry plus the ids slice. The constant 10 approximates bucket overhead.
+func (h *hashAddresser) overheadBytes() uint64 {
+	per := uint64(4 + 4 + 10)
+	return uint64(len(h.ids))*per + uint64(len(h.ids))*4
+}

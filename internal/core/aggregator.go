@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggOp is a commutative, associative reduction over float64 used by
+// named aggregators. Aggregators are the standard Pregel global-reduction
+// mechanism: each superstep's contributions are folded per worker and
+// merged at the barrier, and the result is visible to every vertex during
+// the *next* superstep. The paper's engine fixes PageRank at 30
+// iterations; aggregators enable the natural extension of running it to
+// numerical convergence (see algorithms.PageRankConverged).
+type AggOp int
+
+const (
+	// AggSum folds contributions with addition (identity 0).
+	AggSum AggOp = iota
+	// AggMin keeps the minimum (identity +Inf).
+	AggMin
+	// AggMax keeps the maximum (identity -Inf).
+	AggMax
+)
+
+func (op AggOp) identity() float64 {
+	switch op {
+	case AggMin:
+		return math.Inf(1)
+	case AggMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+func (op AggOp) fold(a, b float64) float64 {
+	switch op {
+	case AggMin:
+		if b < a {
+			return b
+		}
+		return a
+	case AggMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// aggregators is the engine-side registry: fixed after Run starts, one
+// partial slot per worker per aggregator, merged at the barrier.
+type aggregators struct {
+	names map[string]int
+	ops   []AggOp
+	// partials[worker][agg]
+	partials [][]float64
+	// current[agg] holds the merged value from the previous superstep.
+	current []float64
+}
+
+func newAggregators(workers int) *aggregators {
+	return &aggregators{names: map[string]int{}, partials: make([][]float64, workers)}
+}
+
+func (a *aggregators) register(name string, op AggOp) error {
+	if _, dup := a.names[name]; dup {
+		return fmt.Errorf("core: aggregator %q already registered", name)
+	}
+	a.names[name] = len(a.ops)
+	a.ops = append(a.ops, op)
+	a.current = append(a.current, op.identity())
+	for w := range a.partials {
+		a.partials[w] = append(a.partials[w], op.identity())
+	}
+	return nil
+}
+
+func (a *aggregators) index(name string) int {
+	i, ok := a.names[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown aggregator %q (register before Run)", name))
+	}
+	return i
+}
+
+func (a *aggregators) contribute(worker, idx int, x float64) {
+	a.partials[worker][idx] = a.ops[idx].fold(a.partials[worker][idx], x)
+}
+
+// barrier merges the workers' partials into current and resets partials.
+func (a *aggregators) barrier() {
+	for i, op := range a.ops {
+		v := op.identity()
+		for w := range a.partials {
+			v = op.fold(v, a.partials[w][i])
+			a.partials[w][i] = op.identity()
+		}
+		a.current[i] = v
+	}
+}
+
+func (a *aggregators) empty() bool { return len(a.ops) == 0 }
+
+// RegisterAggregator declares a named global reduction before Run. During
+// a superstep vertices contribute with Context.Aggregate; the merged
+// value is readable superstep s+1 via Context.Aggregated.
+func (e *Engine[V, M]) RegisterAggregator(name string, op AggOp) error {
+	if e.ran {
+		return fmt.Errorf("core: cannot register aggregator %q after Run", name)
+	}
+	return e.agg.register(name, op)
+}
+
+// Aggregate contributes x to the named aggregator for this superstep.
+func (c *Context[V, M]) Aggregate(name string, x float64) {
+	c.e.agg.contribute(c.worker, c.e.agg.index(name), x)
+}
+
+// Aggregated returns the named aggregator's merged value from the
+// previous superstep (the operator's identity during superstep 0).
+func (c *Context[V, M]) Aggregated(name string) float64 {
+	return c.e.agg.current[c.e.agg.index(name)]
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ipregel/internal/graph"
+)
+
+// Checkpointing implements the Pregel fault-tolerance mechanism the
+// vertex-centric model inherits (Malewicz et al. 2010, which the paper
+// builds on): at superstep barriers the engine persists vertex values,
+// activity flags, pending mailboxes and — under selection bypass — the
+// next frontier, so a crashed computation can resume from the last
+// barrier instead of superstep 0. The iPregel paper itself does not
+// evaluate fault tolerance; this is the standard-model extension a
+// production framework is expected to carry.
+//
+// Limitation: aggregator state is not checkpointed. Programs whose
+// control flow depends on Aggregated values (e.g. PageRankConverged)
+// resume with the operator identity for one superstep, which can delay —
+// never corrupt — convergence-style decisions by a superstep; programs
+// using aggregators purely for reporting are unaffected.
+
+// Codec serialises fixed-size values for checkpoints. The codecs of
+// internal/pregelplus (Uint32Codec, Float64Codec) satisfy this interface.
+type Codec[T any] interface {
+	Size() int
+	Encode(buf []byte, v T)
+	Decode(buf []byte) T
+}
+
+// Checkpointer configures periodic state dumps during Run.
+type Checkpointer[V, M any] struct {
+	// Every triggers a checkpoint after each multiple of this many
+	// completed supersteps (≥1).
+	Every int
+	// Sink returns the destination for the checkpoint taken after the
+	// given superstep. The writer is not closed by the engine.
+	Sink func(superstep int) (io.Writer, error)
+	// VCodec and MCodec serialise vertex values and pending messages.
+	VCodec Codec[V]
+	MCodec Codec[M]
+}
+
+// SetCheckpointer installs periodic checkpointing; call before Run.
+func (e *Engine[V, M]) SetCheckpointer(cp Checkpointer[V, M]) error {
+	if e.ran {
+		return errors.New("core: cannot set a checkpointer after Run")
+	}
+	if cp.Every < 1 || cp.Sink == nil || cp.VCodec == nil || cp.MCodec == nil {
+		return errors.New("core: checkpointer needs Every>=1, a Sink and both codecs")
+	}
+	e.checkpoint = &cp
+	return nil
+}
+
+var checkpointMagic = [4]byte{'I', 'P', 'C', 'K'}
+
+// writeCheckpoint dumps the barrier state: superstep, values, activity,
+// current mailboxes, and the bypass frontier.
+func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(e.superstep))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(e.slots))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	vbuf := make([]byte, vc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		vc.Encode(vbuf, e.values[slot])
+		if _, err := bw.Write(vbuf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(e.active); err != nil {
+		return err
+	}
+	mbuf := make([]byte, mc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		m, ok := e.mb.peek(slot)
+		if !ok {
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		mc.Encode(mbuf, m)
+		if _, err := bw.Write(mbuf); err != nil {
+			return err
+		}
+	}
+	var flen [8]byte
+	binary.LittleEndian.PutUint64(flen[:], uint64(len(e.frontier)))
+	if _, err := bw.Write(flen[:]); err != nil {
+		return err
+	}
+	var sbuf [4]byte
+	for _, slot := range e.frontier {
+		binary.LittleEndian.PutUint32(sbuf[:], uint32(slot))
+		if _, err := bw.Write(sbuf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore rebuilds an engine from a checkpoint taken with the same graph,
+// configuration and program, ready for Run to continue from the saved
+// barrier. Run's Report then covers only the resumed supersteps.
+func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, M], vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
+	e, err := New(g, cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	e.superstep = int(binary.LittleEndian.Uint64(hdr[0:]))
+	slots := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if slots != e.slots {
+		return nil, fmt.Errorf("core: checkpoint has %d slots, engine has %d (graph or addressing mismatch)", slots, e.slots)
+	}
+	vbuf := make([]byte, vc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		if _, err := io.ReadFull(br, vbuf); err != nil {
+			return nil, fmt.Errorf("core: checkpoint values: %w", err)
+		}
+		e.values[slot] = vc.Decode(vbuf)
+	}
+	if _, err := io.ReadFull(br, e.active); err != nil {
+		return nil, fmt.Errorf("core: checkpoint activity: %w", err)
+	}
+	mbuf := make([]byte, mc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
+		}
+		if flag == 0 {
+			continue
+		}
+		if _, err := io.ReadFull(br, mbuf); err != nil {
+			return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
+		}
+		e.mb.restoreCurrent(slot, mc.Decode(mbuf))
+	}
+	var flen [8]byte
+	if _, err := io.ReadFull(br, flen[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint frontier: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(flen[:])
+	if n > uint64(e.slots) {
+		return nil, fmt.Errorf("core: checkpoint frontier length %d exceeds slots", n)
+	}
+	if n > 0 && !cfg.SelectionBypass {
+		return nil, errors.New("core: checkpoint carries a frontier but the engine has no selection bypass")
+	}
+	var sbuf [4]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, sbuf[:]); err != nil {
+			return nil, fmt.Errorf("core: checkpoint frontier: %w", err)
+		}
+		e.frontier = append(e.frontier, int32(binary.LittleEndian.Uint32(sbuf[:])))
+	}
+	return e, nil
+}
+
+// maybeCheckpoint is called by Run at each barrier, after the superstep
+// counter has advanced: the saved state is exactly "ready to execute
+// superstep e.superstep".
+func (e *Engine[V, M]) maybeCheckpoint() error {
+	cp := e.checkpoint
+	if cp == nil || e.superstep%cp.Every != 0 {
+		return nil
+	}
+	w, err := cp.Sink(e.superstep)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint sink: %w", err)
+	}
+	if err := e.writeCheckpoint(w, cp.VCodec, cp.MCodec); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+// test codec for uint32 (mirrors pregelplus.Uint32Codec without the
+// import cycle a test would otherwise not have anyway).
+type u32Codec struct{}
+
+func (u32Codec) Size() int                 { return 4 }
+func (u32Codec) Encode(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func (u32Codec) Decode(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+
+// ssspProg is the Fig. 5 program, used here because it has non-trivial
+// in-flight state at every barrier (values, mailboxes, frontier).
+func ssspProg(source graph.VertexID) Program[uint32, uint32] {
+	const inf = ^uint32(0)
+	return Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) {
+			if new < *old {
+				*old = new
+			}
+		},
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.IsFirstSuperstep() {
+				*v.Value() = inf
+			}
+			ref := uint32(inf)
+			if v.ID() == source {
+				ref = 0
+			}
+			var m uint32
+			for ctx.NextMessage(v, &m) {
+				if m < ref {
+					ref = m
+				}
+			}
+			if ref < *v.Value() {
+				*v.Value() = ref
+				ctx.Broadcast(v, ref+1)
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+}
+
+func gridForCheckpoint(t *testing.T) *graph.Graph {
+	t.Helper()
+	var b graph.Builder
+	b.BuildInEdges()
+	const rows, cols = 8, 8
+	id := func(r, c int) graph.VertexID { return graph.VertexID(1 + r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+				b.AddEdge(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+				b.AddEdge(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestCheckpointRestoreContinuesIdentically(t *testing.T) {
+	g := gridForCheckpoint(t)
+	for _, cfg := range AllVersions() {
+		cfg := cfg
+		cfg.Threads = 2
+		// Ground truth: uninterrupted run.
+		ref, refRep, err := Run(g, cfg, ssspProg(1))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.VersionName(), err)
+		}
+
+		// Run with checkpoints every 3 supersteps; keep the last two.
+		var dumps []*bytes.Buffer
+		var steps []int
+		e, err := New(g, cfg, ssspProg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{
+			Every: 3,
+			Sink: func(s int) (io.Writer, error) {
+				buf := &bytes.Buffer{}
+				dumps = append(dumps, buf)
+				steps = append(steps, s)
+				return buf, nil
+			},
+			VCodec: u32Codec{},
+			MCodec: u32Codec{},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(dumps) == 0 {
+			t.Fatalf("%s: no checkpoints taken", cfg.VersionName())
+		}
+
+		for di, dump := range dumps {
+			restored, err := Restore(bytes.NewReader(dump.Bytes()), g, cfg, ssspProg(1), u32Codec{}, u32Codec{})
+			if err != nil {
+				t.Fatalf("%s: restore #%d: %v", cfg.VersionName(), di, err)
+			}
+			rep, err := restored.Run()
+			if err != nil {
+				t.Fatalf("%s: resumed run #%d: %v", cfg.VersionName(), di, err)
+			}
+			// Supersteps is the absolute counter; Steps covers only the
+			// resumed portion.
+			if rep.Supersteps != refRep.Supersteps {
+				t.Fatalf("%s: resumed run ended at superstep %d, reference at %d", cfg.VersionName(), rep.Supersteps, refRep.Supersteps)
+			}
+			if wantResumed := refRep.Supersteps - steps[di]; len(rep.Steps) != wantResumed {
+				t.Fatalf("%s: resumed %d supersteps from barrier %d, want %d", cfg.VersionName(), len(rep.Steps), steps[di], wantResumed)
+			}
+			got := restored.ValuesDense()
+			want := ref.ValuesDense()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: restore #%d: dist[%d] = %d, want %d", cfg.VersionName(), di, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointerValidation(t *testing.T) {
+	g := gridForCheckpoint(t)
+	e, err := New(g, Config{}, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{}); err == nil {
+		t.Fatal("empty checkpointer accepted")
+	}
+	ok := Checkpointer[uint32, uint32]{Every: 1, Sink: func(int) (io.Writer, error) { return io.Discard, nil }, VCodec: u32Codec{}, MCodec: u32Codec{}}
+	if err := e.SetCheckpointer(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(ok); err == nil {
+		t.Fatal("post-Run checkpointer accepted")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	g := gridForCheckpoint(t)
+	prog := ssspProg(1)
+	// Garbage and truncation.
+	if _, err := Restore(bytes.NewReader([]byte("nope")), g, Config{}, prog, u32Codec{}, u32Codec{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Take a real checkpoint, then corrupt it.
+	var dump bytes.Buffer
+	e, _ := New(g, Config{}, prog)
+	if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{
+		Every:  2,
+		Sink:   func(int) (io.Writer, error) { return &dump, nil },
+		VCodec: u32Codec{}, MCodec: u32Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data := dump.Bytes()
+	// Multiple checkpoints are concatenated in dump; take the first by
+	// restoring from the full stream (reader stops at the first record).
+	if _, err := Restore(bytes.NewReader(data[:20]), g, Config{}, prog, u32Codec{}, u32Codec{}); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	// Slot-count mismatch: restore against a different graph.
+	var small graph.Builder
+	small.AddEdge(1, 2)
+	sg := small.MustBuild()
+	if _, err := Restore(bytes.NewReader(data), sg, Config{}, prog, u32Codec{}, u32Codec{}); err == nil {
+		t.Fatal("graph mismatch accepted")
+	}
+}
+
+func TestCheckpointFrontierRequiresBypass(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg := Config{Combiner: CombinerSpin, SelectionBypass: true}
+	var dump bytes.Buffer
+	e, err := New(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote := false
+	if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{
+		Every: 2,
+		Sink: func(int) (io.Writer, error) {
+			if wrote {
+				return io.Discard, nil
+			}
+			wrote = true
+			return &dump, nil
+		},
+		VCodec: u32Codec{}, MCodec: u32Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring a bypass checkpoint (with a non-empty frontier) into a
+	// non-bypass engine must fail loudly.
+	if _, err := Restore(bytes.NewReader(dump.Bytes()), g, Config{Combiner: CombinerSpin}, ssspProg(1), u32Codec{}, u32Codec{}); err == nil {
+		t.Fatal("bypass checkpoint accepted by scan engine")
+	}
+}

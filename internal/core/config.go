@@ -1,0 +1,200 @@
+// Package core implements the iPregel vertex-centric framework of the
+// paper: a Bulk-Synchronous-Parallel, in-memory, shared-memory engine whose
+// three optimisation modules — vertex selection, vertex addressing and
+// combination — each exist in several versions (paper Fig. 2).
+//
+// The original C framework selects module versions with compile-time
+// defines (§3.1.1). Go has no preprocessor, so the selection moves into
+// Config: every module version is a separate implementation behind a small
+// interface, chosen when the Engine is built. The user-facing programming
+// model is the paper's (Fig. 3 and 4): a Compute function run on every
+// active vertex each superstep, a Combine function merging a new message
+// into a mailbox that holds at most one message (§6.3), and Context calls
+// mirroring IP_send_message, IP_broadcast, IP_vote_to_halt,
+// IP_get_next_message, IP_get_superstep and IP_get_vertices_count.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Combiner selects the combination module version (paper §6).
+type Combiner int
+
+const (
+	// CombinerMutex is the push-based combiner with block-waiting
+	// synchronisation (§6.1): one sync.Mutex per vertex mailbox.
+	CombinerMutex Combiner = iota
+	// CombinerSpin is the push-based combiner with busy-waiting
+	// synchronisation (§6.1): one 4-byte spinlock per vertex mailbox.
+	CombinerSpin
+	// CombinerPull is the pull-based combiner (§6.2), the paper's
+	// "broadcast" version: senders buffer one outgoing message in an
+	// outbox, receivers fetch and combine from their in-neighbours at the
+	// end of the superstep. Race-free, lock-free; requires the graph's
+	// in-adjacency and a broadcast-only application.
+	CombinerPull
+)
+
+var combinerNames = map[Combiner]string{
+	CombinerMutex: "mutex",
+	CombinerSpin:  "spinlock",
+	CombinerPull:  "broadcast",
+}
+
+func (c Combiner) String() string {
+	if s, ok := combinerNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Combiner(%d)", int(c))
+}
+
+// ParseCombiner converts "mutex", "spinlock"/"spin", or
+// "broadcast"/"pull" to a Combiner.
+func ParseCombiner(s string) (Combiner, error) {
+	switch strings.ToLower(s) {
+	case "mutex":
+		return CombinerMutex, nil
+	case "spinlock", "spin":
+		return CombinerSpin, nil
+	case "broadcast", "pull":
+		return CombinerPull, nil
+	}
+	return 0, fmt.Errorf("core: unknown combiner %q", s)
+}
+
+// Addressing selects the vertex addressing module version (paper §5).
+type Addressing int
+
+const (
+	// AddressOffset subtracts the graph's base identifier to find a
+	// vertex's slot — the paper's Offset Mapping, a "marginal overhead"
+	// of one subtraction. This is the default because it works for any
+	// consecutive identifier range.
+	AddressOffset Addressing = iota
+	// AddressDirect uses the identifier itself as the slot — Direct
+	// Mapping. It requires identifiers to start at 0.
+	AddressDirect
+	// AddressDesolate forces direct mapping on graphs whose identifiers
+	// start above 0 by allocating (and wasting) the slots below the base
+	// — Desolate Memory. For base-1 graphs such as the paper's Wikipedia
+	// and USA-road inputs the waste is a single element per array.
+	AddressDesolate
+	// AddressHashmap is the conventional scheme the paper argues against
+	// (§5): a hash map from identifier to slot consulted on every message
+	// delivery. Provided as the ablation baseline.
+	AddressHashmap
+)
+
+var addressingNames = map[Addressing]string{
+	AddressOffset:   "offset",
+	AddressDirect:   "direct",
+	AddressDesolate: "desolate",
+	AddressHashmap:  "hashmap",
+}
+
+func (a Addressing) String() string {
+	if s, ok := addressingNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Addressing(%d)", int(a))
+}
+
+// ParseAddressing converts an addressing name to an Addressing.
+func ParseAddressing(s string) (Addressing, error) {
+	for a, name := range addressingNames {
+		if name == strings.ToLower(s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown addressing %q", s)
+}
+
+// Schedule selects how a phase's work items are split across threads.
+type Schedule int
+
+const (
+	// ScheduleStatic gives each thread one equal contiguous share, the
+	// paper's model (§4: "each thread receives an equal share").
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out fixed-size chunks from an atomic counter —
+	// the load-balancing alternative the paper's conclusion points to as
+	// future work. Kept for the ablation benchmarks.
+	ScheduleDynamic
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Config selects the module versions of an Engine, the Go equivalent of
+// the paper's compilation defines (§3.1.1).
+type Config struct {
+	Combiner   Combiner
+	Addressing Addressing
+	// SelectionBypass enables the paper's §4 technique: senders enrol
+	// their recipients in the next superstep's work list, skipping the
+	// selection scan entirely. Only valid for applications in which every
+	// vertex votes to halt at the end of every superstep (Hashmin, SSSP —
+	// not PageRank).
+	SelectionBypass bool
+	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
+	Threads int
+	// Schedule controls work splitting; the zero value is the paper's
+	// static equal shares.
+	Schedule Schedule
+	// MaxSupersteps aborts runs that exceed this many supersteps; 0 means
+	// no limit.
+	MaxSupersteps int
+	// CheckBypass enables a debug audit (used by tests): after each
+	// superstep under selection bypass, verify no vertex with a pending
+	// message was missed by the frontier.
+	CheckBypass bool
+	// TrackWorkerTime records each worker's busy time per superstep into
+	// StepStats.WorkerBusy, feeding Report.LoadImbalance — the measurable
+	// form of §4's load-balancing argument. Off by default (it adds two
+	// clock reads per worker per phase).
+	TrackWorkerTime bool
+	// PersistentWorkers keeps one long-lived goroutine per worker for the
+	// whole run instead of forking goroutines per phase (the default,
+	// which mirrors the paper's OpenMP fork-join loops). Results are
+	// identical; see BenchmarkWorkerPool for the cost comparison.
+	PersistentWorkers bool
+}
+
+// VersionName returns the short name used in Fig. 7's legend, e.g.
+// "spinlock+bypass" or "broadcast".
+func (c Config) VersionName() string {
+	name := c.Combiner.String()
+	if c.SelectionBypass {
+		name += "+bypass"
+	}
+	return name
+}
+
+func (c Config) threads() int {
+	if c.Threads > 0 {
+		return c.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AllVersions returns the six iPregel versions of the paper's Fig. 7
+// evaluation: three combiners, each with and without selection bypass.
+func AllVersions() []Config {
+	var out []Config
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerPull} {
+		for _, bypass := range []bool{false, true} {
+			out = append(out, Config{Combiner: comb, SelectionBypass: bypass})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"ipregel/internal/graph"
+)
+
+// ComputeFunc is the user-defined per-vertex kernel (paper Fig. 4,
+// IP_compute), invoked once per active vertex per superstep.
+type ComputeFunc[V, M any] func(ctx *Context[V, M], v Vertex[V, M])
+
+// Vertex is a handle on one vertex's state, passed to ComputeFunc. It is
+// a cheap value (pointer + slot); the actual state lives in the engine's
+// flat arrays, the Go equivalent of the paper's plain-struct vertices with
+// no hidden virtual-table pointer (§3.2).
+type Vertex[V, M any] struct {
+	e    *Engine[V, M]
+	slot int32
+}
+
+// ID returns the vertex's external identifier.
+func (v Vertex[V, M]) ID() graph.VertexID { return v.e.addr.idOf(int(v.slot)) }
+
+// Value returns a pointer to the vertex's user-defined value, the
+// equivalent of the user members of struct IP_vertex_t.
+func (v Vertex[V, M]) Value() *V { return &v.e.values[v.slot] }
+
+// OutDegree returns the number of out-neighbours.
+func (v Vertex[V, M]) OutDegree() int { return v.e.g.OutDegree(int(v.slot) - v.e.shift) }
+
+// InDegree returns the number of in-neighbours; it panics if the graph
+// was loaded without in-edges (paper §3.2: in-neighbour storage is a
+// per-version decision).
+func (v Vertex[V, M]) InDegree() int { return v.e.g.InDegree(int(v.slot) - v.e.shift) }
+
+// OutNeighborIDs calls fn with the external identifier of every
+// out-neighbour.
+func (v Vertex[V, M]) OutNeighborIDs(fn func(graph.VertexID)) {
+	e := v.e
+	base := e.g.Base()
+	for _, nb := range e.g.OutNeighbors(int(v.slot) - e.shift) {
+		fn(base + nb)
+	}
+}
+
+// OutEdgesWeighted calls fn with each out-neighbour's external identifier
+// and edge weight. It panics with graph.ErrNoWeights on unweighted
+// graphs; weighted applications (e.g. weighted SSSP) require a graph
+// built with graph.WeightedBuilder.
+func (v Vertex[V, M]) OutEdgesWeighted(fn func(graph.VertexID, uint32)) {
+	e := v.e
+	base := e.g.Base()
+	adj, ws := e.g.OutEdgesWeighted(int(v.slot) - e.shift)
+	for j, nb := range adj {
+		fn(base+nb, ws[j])
+	}
+}
+
+// Context carries the framework calls of paper Fig. 3 plus this worker's
+// superstep-local buffers. Each worker goroutine owns one Context; the
+// version-independent calls (Superstep, VertexCount, ...) read engine
+// state, while Send/Broadcast dispatch into the configured combination
+// module version.
+type Context[V, M any] struct {
+	e      *Engine[V, M]
+	worker int
+
+	// per-superstep counters, merged at the barrier
+	msgs  uint64
+	ran   int64
+	votes int64
+
+	// next-frontier buffer under selection bypass (§4)
+	frontierBuf []int32
+}
+
+// Superstep returns the current superstep number, starting at 0
+// (IP_get_superstep).
+func (c *Context[V, M]) Superstep() int { return c.e.superstep }
+
+// IsFirstSuperstep reports whether this is superstep 0
+// (IP_is_first_superstep).
+func (c *Context[V, M]) IsFirstSuperstep() bool { return c.e.superstep == 0 }
+
+// VertexCount returns the total number of vertices
+// (IP_get_vertices_count).
+func (c *Context[V, M]) VertexCount() int { return c.e.g.N() }
+
+// NextMessage pops the message in v's mailbox into *m, reporting whether
+// one existed (IP_get_next_message). With combiners a mailbox holds at
+// most one message (§6.3), so the usual `for ctx.NextMessage(v, &m)` drain
+// loop iterates at most once.
+func (c *Context[V, M]) NextMessage(v Vertex[V, M], m *M) bool {
+	return c.e.mb.take(int(v.slot), m)
+}
+
+// Send delivers msg to the vertex with external identifier dst
+// (IP_send_message). It is unavailable with the pull combiner, whose
+// contract is broadcast-only communication (§6.2).
+func (c *Context[V, M]) Send(dst graph.VertexID, msg M) {
+	e := c.e
+	slot := e.addr.locate(dst)
+	if slot < 0 || slot >= e.slots || (e.shift > 0 && slot < e.shift) {
+		panic(fmt.Sprintf("core: message sent to unknown vertex %d", dst))
+	}
+	e.mb.deliver(slot, msg)
+	c.msgs++
+	if e.cfg.SelectionBypass {
+		c.enroll(slot)
+	}
+}
+
+// Broadcast sends msg to every out-neighbour of v (IP_broadcast). With
+// the push combiners it expands to one Send per out-neighbour; with the
+// pull combiner it buffers msg once in v's outbox, to be fetched by the
+// recipients' collect phase.
+func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
+	e := c.e
+	slot := int(v.slot)
+	idx := slot - e.shift
+	if e.mb.usesPull() {
+		e.mb.setOutbox(slot, msg)
+		c.msgs++ // one buffered broadcast; fan-out happens at collect
+		if e.cfg.SelectionBypass {
+			// The sender knows every out-neighbour will receive a message,
+			// so it enrols them all for the next superstep (§4 applied to
+			// the broadcast version).
+			for _, nb := range e.g.OutNeighbors(idx) {
+				c.enroll(int(nb) + e.shift)
+			}
+		}
+		return
+	}
+	base := e.g.Base()
+	for _, nb := range e.g.OutNeighbors(idx) {
+		// Route through the addressing module like any identifier-addressed
+		// message (§5): for direct/offset/desolate mapping this folds into
+		// pure arithmetic, for the hashmap baseline it is a real lookup.
+		dst := e.addr.locate(base + nb)
+		e.mb.deliver(dst, msg)
+		c.msgs++
+		if e.cfg.SelectionBypass {
+			c.enroll(dst)
+		}
+	}
+}
+
+// VoteToHalt marks v inactive for the next superstep (IP_vote_to_halt);
+// an incoming message will reactivate it.
+func (c *Context[V, M]) VoteToHalt(v Vertex[V, M]) {
+	if c.e.active[v.slot] != 0 {
+		c.e.active[v.slot] = 0
+		c.votes++
+	}
+}
+
+// enroll adds slot to the next frontier exactly once (CAS dedup).
+func (c *Context[V, M]) enroll(slot int) {
+	if c.e.tryMarkNext(slot) {
+		c.frontierBuf = append(c.frontierBuf, int32(slot))
+	}
+}
+
+func (c *Context[V, M]) resetSuperstep() {
+	c.msgs, c.ran, c.votes = 0, 0, 0
+	c.frontierBuf = c.frontierBuf[:0]
+}

@@ -1,0 +1,654 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ipregel/internal/graph"
+)
+
+func ringGraph(n int, base graph.VertexID) *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 0; i < n; i++ {
+		b.AddEdge(base+graph.VertexID(i), base+graph.VertexID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// counterProgram floods the ring for `steps` supersteps: every vertex
+// broadcasts 1 each superstep and counts what it received.
+func counterProgram(steps int) Program[uint32, uint32] {
+	return Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			var m uint32
+			for ctx.NextMessage(v, &m) {
+				*v.Value() += m
+			}
+			if ctx.Superstep() < steps {
+				ctx.Broadcast(v, 1)
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+}
+
+func TestEngineBasicFlood(t *testing.T) {
+	g := ringGraph(8, 0)
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerPull} {
+		t.Run(comb.String(), func(t *testing.T) {
+			e, rep, err := Run(g, Config{Combiner: comb, Addressing: AddressDirect, Threads: 3}, counterProgram(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Converged {
+				t.Fatal("did not converge")
+			}
+			// 6 supersteps of compute (0..5), messages sent in 0..4 — wait:
+			// broadcast while superstep < 5, so steps 0..4 send, step 5
+			// receives and halts; step 6 confirms quiescence is not needed
+			// because halting happens with no messages in flight.
+			if rep.Supersteps < 6 {
+				t.Fatalf("supersteps = %d, want >= 6", rep.Supersteps)
+			}
+			for i, v := range e.ValuesDense() {
+				if v != 5 { // one message per superstep from the single in-neighbour
+					t.Fatalf("vertex %d counted %d messages, want 5", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineValueByID(t *testing.T) {
+	g := ringGraph(4, 1) // base-1 identifiers
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			*v.Value() = uint32(v.ID()) * 10
+			ctx.VoteToHalt(v)
+		},
+	}
+	for _, addr := range []Addressing{AddressOffset, AddressDesolate, AddressHashmap} {
+		e, _, err := Run(g, Config{Addressing: addr}, prog)
+		if err != nil {
+			t.Fatalf("%v: %v", addr, err)
+		}
+		if got := e.Value(3); got != 30 {
+			t.Fatalf("%v: Value(3) = %d, want 30", addr, got)
+		}
+		vals := e.ValuesDense()
+		if vals[0] != 10 || vals[3] != 40 {
+			t.Fatalf("%v: ValuesDense = %v", addr, vals)
+		}
+	}
+}
+
+func TestDirectMappingRequiresBaseZero(t *testing.T) {
+	g := ringGraph(4, 1)
+	_, err := New(g, Config{Addressing: AddressDirect}, counterProgram(1))
+	if err == nil || !strings.Contains(err.Error(), "direct mapping") {
+		t.Fatalf("want direct-mapping error, got %v", err)
+	}
+}
+
+func TestPullRequiresInEdges(t *testing.T) {
+	g := ringGraph(4, 0).StripInEdges()
+	_, err := New(g, Config{Combiner: CombinerPull}, counterProgram(1))
+	if err == nil || !strings.Contains(err.Error(), "in-neighbours") {
+		t.Fatalf("want in-edge error, got %v", err)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	g := ringGraph(4, 0)
+	if _, err := New(g, Config{}, Program[uint32, uint32]{Combine: func(*uint32, uint32) {}}); err == nil {
+		t.Fatal("missing Compute accepted")
+	}
+	if _, err := New(g, Config{}, Program[uint32, uint32]{Compute: func(*Context[uint32, uint32], Vertex[uint32, uint32]) {}}); err == nil {
+		t.Fatal("missing Combine accepted")
+	}
+}
+
+func TestEngineRunsOnce(t *testing.T) {
+	g := ringGraph(4, 0)
+	e, err := New(g, Config{}, counterProgram(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestMaxSupersteps(t *testing.T) {
+	g := ringGraph(4, 0)
+	// Never halts: always broadcasts.
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			ctx.Broadcast(v, 1)
+		},
+	}
+	_, rep, err := Run(g, Config{MaxSupersteps: 7}, prog)
+	if !errors.Is(err, ErrMaxSupersteps) {
+		t.Fatalf("want ErrMaxSupersteps, got %v", err)
+	}
+	if rep.Converged {
+		t.Fatal("aborted run reported converged")
+	}
+}
+
+func TestBypassViolation(t *testing.T) {
+	g := ringGraph(4, 0)
+	// Vertices do not vote to halt — exactly the PageRank situation in
+	// which the paper says bypass is inapplicable (§4 note).
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.Superstep() < 3 {
+				ctx.Broadcast(v, 1)
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+	_, _, err := Run(g, Config{SelectionBypass: true}, prog)
+	if !errors.Is(err, ErrBypassViolation) {
+		t.Fatalf("want ErrBypassViolation, got %v", err)
+	}
+}
+
+// haltingFlood is bypass-compatible: every vertex votes to halt every
+// superstep and forwards a decreasing hop counter.
+func haltingFlood(hops uint32) Program[uint32, uint32] {
+	return Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) {
+			if new > *old {
+				*old = new
+			}
+		},
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.IsFirstSuperstep() {
+				if v.ID() == 0 {
+					*v.Value() = hops
+					ctx.Broadcast(v, hops-1)
+				}
+			} else {
+				var m uint32
+				if ctx.NextMessage(v, &m) {
+					if m > *v.Value() {
+						*v.Value() = m
+						if m > 0 {
+							ctx.Broadcast(v, m-1)
+						}
+					}
+				}
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+}
+
+func TestBypassMatchesScan(t *testing.T) {
+	g := ringGraph(16, 0)
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerPull} {
+		var dense [][]uint32
+		var ran [][]int64
+		for _, bypass := range []bool{false, true} {
+			cfg := Config{Combiner: comb, SelectionBypass: bypass, CheckBypass: bypass, Threads: 4}
+			e, rep, err := Run(g, cfg, haltingFlood(10))
+			if err != nil {
+				t.Fatalf("%s bypass=%v: %v", comb, bypass, err)
+			}
+			dense = append(dense, e.ValuesDense())
+			ran = append(ran, rep.RanSeries())
+			if bypass {
+				// After superstep 0 only message recipients may run: the
+				// flood touches exactly one vertex per superstep.
+				for s := 1; s < len(rep.Steps)-1; s++ {
+					if rep.Steps[s].Ran != 1 {
+						t.Fatalf("%s: bypass superstep %d ran %d vertices, want 1", comb, s, rep.Steps[s].Ran)
+					}
+				}
+			}
+		}
+		for i := range dense[0] {
+			if dense[0][i] != dense[1][i] {
+				t.Fatalf("%s: bypass changed results at %d: %d vs %d", comb, i, dense[0][i], dense[1][i])
+			}
+		}
+		_ = ran
+	}
+}
+
+func TestSendOnPullPanics(t *testing.T) {
+	g := ringGraph(4, 0)
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Send with pull combiner should panic")
+				}
+			}()
+			ctx.Send(1, 1)
+		},
+	}
+	e, err := New(g, Config{Combiner: CombinerPull, MaxSupersteps: 1}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.Run()
+}
+
+func TestSendToUnknownVertexPanics(t *testing.T) {
+	g := ringGraph(4, 0)
+	panicked := false
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			ctx.Send(99, 1)
+			ctx.VoteToHalt(v)
+		},
+	}
+	e, err := New(g, Config{Threads: 1, MaxSupersteps: 2}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.Run()
+	if !panicked {
+		t.Fatal("expected panic for unknown recipient")
+	}
+}
+
+func TestDesolateSlots(t *testing.T) {
+	g := ringGraph(4, 1)
+	a, err := newAddresser(g, AddressDesolate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.slots() != 5 {
+		t.Fatalf("desolate slots = %d, want 5 (one wasted)", a.slots())
+	}
+	if a.shift() != 1 {
+		t.Fatalf("desolate shift = %d, want 1", a.shift())
+	}
+	if a.locate(3) != 3 {
+		t.Fatalf("desolate locate(3) = %d, want 3", a.locate(3))
+	}
+}
+
+func TestAddresserRoundTrip(t *testing.T) {
+	g := ringGraph(6, 2)
+	for _, kind := range []Addressing{AddressOffset, AddressDesolate, AddressHashmap} {
+		a, err := newAddresser(g, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N(); i++ {
+			id := g.ExternalID(i)
+			slot := a.locate(id)
+			if slot < 0 || slot >= a.slots() {
+				t.Fatalf("%v: locate(%d) = %d out of range", kind, id, slot)
+			}
+			if back := a.idOf(slot); back != id {
+				t.Fatalf("%v: idOf(locate(%d)) = %d", kind, id, back)
+			}
+			if slot-a.shift() != i {
+				t.Fatalf("%v: slot %d does not map to internal %d", kind, slot, i)
+			}
+		}
+	}
+	g0 := ringGraph(6, 0)
+	a, err := newAddresser(g0, AddressDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.locate(5) != 5 || a.idOf(5) != 5 {
+		t.Fatal("direct mapping is not the identity")
+	}
+}
+
+func TestHashmapUnknownID(t *testing.T) {
+	g := ringGraph(4, 0)
+	a, _ := newAddresser(g, AddressHashmap)
+	if a.locate(77) != -1 {
+		t.Fatal("hashmap should return -1 for unknown identifiers")
+	}
+	if a.overheadBytes() == 0 {
+		t.Fatal("hashmap overhead should be non-zero")
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l spinLock
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.lock()
+				counter++
+				l.unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestMailboxFootprintOrdering(t *testing.T) {
+	g := ringGraph(1000, 0)
+	combine := func(old *uint32, new uint32) { *old += new }
+	mutex := newMutexMailbox[uint32](1000, combine)
+	spin := newSpinMailbox[uint32](1000, combine)
+	pull := newPullMailbox[uint32](1000, combine, g, 0)
+	if !(spin.footprintBytes() < mutex.footprintBytes()) {
+		t.Fatalf("spinlock mailbox (%d B) should be lighter than mutex (%d B)", spin.footprintBytes(), mutex.footprintBytes())
+	}
+	// Pull has no locks at all: its lock overhead is zero, though it pays
+	// for outboxes.
+	if pull.footprintBytes() != pull.buffersBytes()+1000*4+1000 {
+		t.Fatalf("pull footprint accounting off: %d", pull.footprintBytes())
+	}
+}
+
+func TestConfigStringsAndParsing(t *testing.T) {
+	for _, c := range []Combiner{CombinerMutex, CombinerSpin, CombinerPull} {
+		got, err := ParseCombiner(c.String())
+		if err != nil || got != c {
+			t.Fatalf("combiner roundtrip %v: %v %v", c, got, err)
+		}
+	}
+	for _, a := range []Addressing{AddressOffset, AddressDirect, AddressDesolate, AddressHashmap} {
+		got, err := ParseAddressing(a.String())
+		if err != nil || got != a {
+			t.Fatalf("addressing roundtrip %v: %v %v", a, got, err)
+		}
+	}
+	if _, err := ParseCombiner("bogus"); err == nil {
+		t.Fatal("bogus combiner accepted")
+	}
+	if _, err := ParseAddressing("bogus"); err == nil {
+		t.Fatal("bogus addressing accepted")
+	}
+	if (Config{Combiner: CombinerSpin, SelectionBypass: true}).VersionName() != "spinlock+bypass" {
+		t.Fatal("VersionName mismatch")
+	}
+	if Combiner(42).String() == "" || Addressing(42).String() == "" || Schedule(42).String() == "" {
+		t.Fatal("unknown enum String empty")
+	}
+	if ScheduleStatic.String() != "static" || ScheduleDynamic.String() != "dynamic" {
+		t.Fatal("schedule names")
+	}
+}
+
+func TestAllVersions(t *testing.T) {
+	vs := AllVersions()
+	if len(vs) != 6 {
+		t.Fatalf("AllVersions = %d entries, want 6 (paper §7.2)", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		seen[v.VersionName()] = true
+	}
+	for _, want := range []string{"mutex", "mutex+bypass", "spinlock", "spinlock+bypass", "broadcast", "broadcast+bypass"} {
+		if !seen[want] {
+			t.Fatalf("missing version %s", want)
+		}
+	}
+}
+
+func TestSchedulesEquivalent(t *testing.T) {
+	g := ringGraph(64, 0)
+	var results [][]uint32
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic} {
+		e, _, err := Run(g, Config{Schedule: sched, Threads: 4}, counterProgram(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, e.ValuesDense())
+	}
+	for i := range results[0] {
+		if results[0][i] != results[1][i] {
+			t.Fatalf("schedules disagree at %d", i)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	g := ringGraph(8, 0)
+	_, rep, err := Run(g, Config{}, counterProgram(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() == "" || rep.Table() == "" {
+		t.Fatal("empty report rendering")
+	}
+	if len(rep.ActiveSeries()) != len(rep.Steps) || len(rep.RanSeries()) != len(rep.Steps) {
+		t.Fatal("series lengths")
+	}
+	// PageRank-style shape: all vertices run while broadcasting.
+	if rep.Steps[0].Ran != 8 {
+		t.Fatalf("step 0 ran %d, want 8", rep.Steps[0].Ran)
+	}
+}
+
+func TestFootprintPerVersion(t *testing.T) {
+	g := ringGraph(512, 0)
+	prog := counterProgram(0)
+	var spin, mutex uint64
+	for _, cfg := range []Config{{Combiner: CombinerSpin}, {Combiner: CombinerMutex}} {
+		e, err := New(g, cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Combiner == CombinerSpin {
+			spin = e.FootprintBytes()
+		} else {
+			mutex = e.FootprintBytes()
+		}
+	}
+	if spin >= mutex {
+		t.Fatalf("spinlock engine (%d B) should be lighter than mutex engine (%d B)", spin, mutex)
+	}
+	// The difference is exactly the lock arrays: (8-4) bytes per slot.
+	if mutex-spin != 512*(mutexBytes-spinLockBytes) {
+		t.Fatalf("lock delta = %d, want %d", mutex-spin, 512*(mutexBytes-spinLockBytes))
+	}
+}
+
+func TestWorkerTimeTracking(t *testing.T) {
+	g := ringGraph(64, 0)
+	_, rep, err := Run(g, Config{Threads: 4, TrackWorkerTime: true}, counterProgram(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) == 0 {
+		t.Fatal("no steps")
+	}
+	sawBusy := false
+	for _, s := range rep.Steps {
+		if len(s.WorkerBusy) != 4 {
+			t.Fatalf("WorkerBusy has %d entries, want 4", len(s.WorkerBusy))
+		}
+		for _, b := range s.WorkerBusy {
+			if b > 0 {
+				sawBusy = true
+			}
+		}
+	}
+	if !sawBusy {
+		t.Fatal("no busy time recorded")
+	}
+	if rep.LoadImbalance() < 1 {
+		t.Fatalf("LoadImbalance = %v, want >= 1", rep.LoadImbalance())
+	}
+	// Untracked runs report zero.
+	_, rep2, err := Run(g, Config{Threads: 4}, counterProgram(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.LoadImbalance() != 0 {
+		t.Fatal("untracked run should report 0 imbalance")
+	}
+	if rep2.Steps[0].WorkerBusy != nil {
+		t.Fatal("untracked run recorded WorkerBusy")
+	}
+}
+
+func TestObserverSeesEverySuperstep(t *testing.T) {
+	g := ringGraph(16, 0)
+	e, err := New(g, Config{}, counterProgram(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	var ranSum int64
+	if err := e.Observe(func(s int, st StepStats) {
+		seen = append(seen, s)
+		ranSum += st.Ran
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rep.Supersteps {
+		t.Fatalf("observer fired %d times, want %d", len(seen), rep.Supersteps)
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Fatalf("observer superstep order: %v", seen)
+		}
+	}
+	if ranSum == 0 {
+		t.Fatal("observer saw no work")
+	}
+	if err := e.Observe(nil); err == nil {
+		t.Fatal("post-Run Observe accepted")
+	}
+}
+
+func TestImbalanceArithmetic(t *testing.T) {
+	s := StepStats{WorkerBusy: []time.Duration{40, 10, 10, 20}}
+	// mean = 20, max = 40 -> 2.0
+	if got := s.Imbalance(); got != 2.0 {
+		t.Fatalf("Imbalance = %v, want 2", got)
+	}
+	if (StepStats{}).Imbalance() != 0 {
+		t.Fatal("empty imbalance")
+	}
+	if (StepStats{WorkerBusy: []time.Duration{0, 0}}).Imbalance() != 0 {
+		t.Fatal("idle imbalance")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var b graph.Builder
+	g := b.MustBuild()
+	for _, cfg := range []Config{{}, {SelectionBypass: true}} {
+		e, rep, err := Run(g, cfg, counterProgram(3))
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if !rep.Converged || rep.TotalMessages != 0 {
+			t.Fatalf("empty graph report: %+v", rep)
+		}
+		if len(e.ValuesDense()) != 0 {
+			t.Fatal("values on empty graph")
+		}
+	}
+}
+
+func TestSingleVertexSelfLoop(t *testing.T) {
+	var b graph.Builder
+	b.BuildInEdges()
+	b.AddEdge(5, 5)
+	g := b.MustBuild()
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerPull} {
+		e, rep, err := Run(g, Config{Combiner: comb}, counterProgram(4))
+		if err != nil {
+			t.Fatalf("%v: %v", comb, err)
+		}
+		if !rep.Converged {
+			t.Fatalf("%v: not converged", comb)
+		}
+		// The vertex messages itself once per superstep for 4 supersteps.
+		if got := e.ValuesDense()[0]; got != 4 {
+			t.Fatalf("%v: self-loop count = %d, want 4", comb, got)
+		}
+	}
+}
+
+func TestIsolatedVerticesHaltImmediately(t *testing.T) {
+	var b graph.Builder
+	b.ForceN = 10
+	b.SetBase(0)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			ctx.VoteToHalt(v)
+		},
+	}
+	_, rep, err := Run(g, Config{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Supersteps != 1 {
+		t.Fatalf("all-halt program took %d supersteps, want 1", rep.Supersteps)
+	}
+	if rep.Steps[0].Ran != 10 {
+		t.Fatalf("superstep 0 ran %d, want all 10", rep.Steps[0].Ran)
+	}
+}
+
+func TestVertexAccessors(t *testing.T) {
+	g := ringGraph(4, 1)
+	var sawDeg, sawIn int
+	ids := map[graph.VertexID]bool{}
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.IsFirstSuperstep() && v.ID() == 1 {
+				sawDeg = v.OutDegree()
+				sawIn = v.InDegree()
+				v.OutNeighborIDs(func(id graph.VertexID) { ids[id] = true })
+			}
+			if ctx.VertexCount() != 4 {
+				t.Error("VertexCount wrong")
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+	if _, _, err := Run(g, Config{Threads: 1}, prog); err != nil {
+		t.Fatal(err)
+	}
+	if sawDeg != 1 || sawIn != 1 {
+		t.Fatalf("degrees = %d/%d, want 1/1", sawDeg, sawIn)
+	}
+	if !ids[2] || len(ids) != 1 {
+		t.Fatalf("neighbour ids = %v, want {2}", ids)
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"ipregel/internal/graph"
+)
+
+// Program bundles the two user-defined functions of paper Fig. 4.
+type Program[V, M any] struct {
+	// Compute is run on every selected vertex each superstep (IP_compute).
+	Compute ComputeFunc[V, M]
+	// Combine merges a new message into an occupied mailbox (IP_combine).
+	// It must be commutative and associative.
+	Combine CombineFunc[M]
+}
+
+// Engine is one configured instance of the iPregel framework: a graph, a
+// program, and one concrete version of each module (selection, addressing,
+// combination) chosen by Config.
+type Engine[V, M any] struct {
+	g       *graph.Graph
+	cfg     Config
+	prog    Program[V, M]
+	addr    addresser
+	mb      mailbox[M]
+	shift   int // slot = internal index + shift (non-zero only for desolate)
+	slots   int
+	threads int
+
+	values []V
+	active []uint8
+
+	// selection-bypass state (§4)
+	inNext       []uint32 // CAS flags deduplicating next-frontier entries
+	frontier     []int32  // slots to run this superstep
+	frontierNext []int32
+
+	workers    []*Context[V, M]
+	agg        *aggregators
+	busy       []time.Duration // per-worker busy time this superstep (TrackWorkerTime)
+	checkpoint *Checkpointer[V, M]
+	observer   func(superstep int, s StepStats)
+	pool       *workerPool
+
+	superstep int
+	report    Report
+
+	ran      bool
+	panicked atomic.Value // first recovered panic, if any
+}
+
+// ErrBypassViolation is returned when an application run under selection
+// bypass leaves vertices active at the end of a superstep — the situation
+// (e.g. PageRank) in which the paper states the technique is not
+// applicable (§4, note).
+var ErrBypassViolation = errors.New("core: selection bypass requires every vertex to vote to halt each superstep (paper §4); a vertex stayed active")
+
+// ErrMaxSupersteps is returned when Config.MaxSupersteps is exceeded.
+var ErrMaxSupersteps = errors.New("core: superstep limit exceeded")
+
+// New builds an engine. It validates that the chosen module versions are
+// compatible with the graph: the pull combiner needs in-edges, direct
+// mapping needs base-0 identifiers.
+func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M], error) {
+	if prog.Compute == nil {
+		return nil, errors.New("core: Program.Compute is required")
+	}
+	if prog.Combine == nil {
+		return nil, errors.New("core: Program.Combine is required")
+	}
+	if cfg.Combiner == CombinerPull && !g.HasInEdges() {
+		return nil, fmt.Errorf("core: the pull combiner fetches from in-neighbours (paper §6.2); load the graph with in-edges")
+	}
+	if cfg.SelectionBypass && !g.HasOutAdjacency() {
+		return nil, fmt.Errorf("core: selection bypass enrols out-neighbours (paper §4) and needs the out-adjacency, which this graph stripped")
+	}
+	addr, err := newAddresser(g, cfg.Addressing)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine[V, M]{
+		g:       g,
+		cfg:     cfg,
+		prog:    prog,
+		addr:    addr,
+		shift:   addr.shift(),
+		slots:   addr.slots(),
+		threads: cfg.threads(),
+	}
+	e.mb = newMailbox[M](cfg, e.slots, prog.Combine, g, e.shift)
+	e.values = make([]V, e.slots)
+	e.active = make([]uint8, e.slots)
+	if cfg.SelectionBypass {
+		e.inNext = make([]uint32, e.slots)
+	}
+	e.workers = make([]*Context[V, M], e.threads)
+	for w := range e.workers {
+		e.workers[w] = &Context[V, M]{e: e, worker: w}
+	}
+	e.agg = newAggregators(e.threads)
+	if cfg.TrackWorkerTime {
+		e.busy = make([]time.Duration, e.threads)
+	}
+	return e, nil
+}
+
+// Run executes supersteps until no vertex is active and no message is in
+// flight, returning per-run statistics. An Engine can run only once.
+func (e *Engine[V, M]) Run() (Report, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at
+// every superstep barrier, and a cancelled run returns ctx's error with
+// the statistics gathered so far. Combine with a checkpointer to make
+// long computations resumable after an operator-initiated stop.
+func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
+	if e.ran {
+		return Report{}, errors.New("core: engine already ran")
+	}
+	e.ran = true
+	e.report.Version = e.cfg.VersionName()
+	start := time.Now()
+	if e.cfg.PersistentWorkers && e.threads > 1 {
+		e.pool = newWorkerPool(e.threads)
+		defer func() {
+			e.pool.stop()
+			e.pool = nil
+		}()
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			e.report.Duration = time.Since(start)
+			return e.report, fmt.Errorf("core: run cancelled at superstep %d: %w", e.superstep, err)
+		}
+		if e.cfg.MaxSupersteps > 0 && e.superstep >= e.cfg.MaxSupersteps {
+			e.report.Duration = time.Since(start)
+			return e.report, fmt.Errorf("%w (%d)", ErrMaxSupersteps, e.cfg.MaxSupersteps)
+		}
+		stepStart := time.Now()
+		for _, w := range e.workers {
+			w.resetSuperstep()
+		}
+		if e.busy != nil {
+			clear(e.busy)
+		}
+
+		ranTotal := e.computePhase()
+
+		if e.cfg.SelectionBypass {
+			e.gatherFrontier()
+		}
+		if e.mb.usesPull() {
+			e.collectPhase()
+			e.mb.clearOutboxes()
+		}
+		e.mb.swap()
+		if !e.agg.empty() {
+			e.agg.barrier()
+		}
+		if p := e.panicked.Load(); p != nil {
+			e.report.Duration = time.Since(start)
+			return e.report, fmt.Errorf("core: compute panicked at superstep %d: %v", e.superstep, p)
+		}
+
+		var msgs uint64
+		var votes int64
+		for _, w := range e.workers {
+			msgs += w.msgs
+			votes += w.votes
+		}
+		activeAfter := ranTotal - votes
+
+		step := StepStats{
+			Ran:      ranTotal,
+			Messages: msgs,
+			Active:   activeAfter,
+			Duration: time.Since(stepStart),
+		}
+		if e.busy != nil {
+			step.WorkerBusy = append([]time.Duration(nil), e.busy...)
+		}
+		e.report.Steps = append(e.report.Steps, step)
+		if e.observer != nil {
+			e.observer(e.superstep, step)
+		}
+		e.report.TotalMessages += msgs
+
+		if e.cfg.SelectionBypass {
+			if activeAfter > 0 {
+				e.report.Duration = time.Since(start)
+				return e.report, ErrBypassViolation
+			}
+			e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
+			// Reset the dedup flags of the (new) current frontier so the
+			// next superstep can enrol the same vertices again.
+			for _, slot := range e.frontier {
+				atomic.StoreUint32(&e.inNext[slot], 0)
+			}
+			if e.cfg.CheckBypass {
+				if err := e.auditBypass(); err != nil {
+					e.report.Duration = time.Since(start)
+					return e.report, err
+				}
+			}
+		}
+
+		e.superstep++
+		if err := e.maybeCheckpoint(); err != nil {
+			e.report.Duration = time.Since(start)
+			return e.report, err
+		}
+		if msgs == 0 && activeAfter == 0 {
+			break
+		}
+	}
+	e.report.Supersteps = e.superstep
+	e.report.Duration = time.Since(start)
+	e.report.Converged = true
+	return e.report, nil
+}
+
+// computePhase runs IP_compute over the selected vertices and returns how
+// many ran.
+func (e *Engine[V, M]) computePhase() int64 {
+	if e.superstep == 0 || !e.cfg.SelectionBypass {
+		// Traditional selection: scan every vertex and run those that are
+		// active or have mail (§4's "unfruitful checks" when inactive).
+		// Superstep 0 runs everything in both modes: all vertices start
+		// active.
+		first := e.superstep == 0
+		e.parallelFor(e.g.N(), func(w, i int) {
+			slot := i + e.shift
+			if first || e.active[slot] != 0 || e.mb.hasCurrent(slot) {
+				e.runVertex(w, slot)
+			}
+		})
+	} else {
+		// Selection bypass: the frontier holds exactly the vertices that
+		// received a message, so threads run every vertex they are given
+		// (§4's load-balance property).
+		frontier := e.frontier
+		e.parallelFor(len(frontier), func(w, i int) {
+			e.runVertex(w, int(frontier[i]))
+		})
+	}
+	var ran int64
+	for _, w := range e.workers {
+		ran += w.ran
+	}
+	return ran
+}
+
+func (e *Engine[V, M]) runVertex(w, slot int) {
+	ctx := e.workers[w]
+	e.active[slot] = 1
+	ctx.ran++
+	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: int32(slot)})
+}
+
+// collectPhase is the pull combiner's end-of-superstep fetch (§6.2): each
+// candidate vertex reads its in-neighbours' outboxes and combines into its
+// own inbox. Writes are strictly owner-local, hence race-free.
+func (e *Engine[V, M]) collectPhase() {
+	if e.cfg.SelectionBypass {
+		// Only enrolled recipients can have mail, so fetching is limited
+		// to the next frontier (already gathered by the caller).
+		next := e.frontierNext
+		e.parallelFor(len(next), func(_, i int) {
+			e.mb.collectInto(int(next[i]))
+		})
+		return
+	}
+	e.parallelFor(e.g.N(), func(_, i int) {
+		e.mb.collectInto(i + e.shift)
+	})
+}
+
+// gatherFrontier concatenates the workers' next-frontier buffers.
+func (e *Engine[V, M]) gatherFrontier() {
+	e.frontierNext = e.frontierNext[:0]
+	for _, w := range e.workers {
+		e.frontierNext = append(e.frontierNext, w.frontierBuf...)
+	}
+}
+
+// tryMarkNext claims slot's membership of the next frontier.
+// Test-and-test-and-set: most messages target already-enrolled vertices,
+// so the common path is a single relaxed load rather than a contended
+// compare-and-swap.
+func (e *Engine[V, M]) tryMarkNext(slot int) bool {
+	p := &e.inNext[slot]
+	if atomic.LoadUint32(p) != 0 {
+		return false
+	}
+	return atomic.CompareAndSwapUint32(p, 0, 1)
+}
+
+// auditBypass (debug) verifies the §4 implication: after the swap, every
+// vertex holding a message is in the new frontier.
+func (e *Engine[V, M]) auditBypass() error {
+	inFrontier := make(map[int32]bool, len(e.frontier))
+	for _, s := range e.frontier {
+		inFrontier[s] = true
+	}
+	for i := 0; i < e.g.N(); i++ {
+		slot := i + e.shift
+		if e.mb.hasCurrent(slot) && !inFrontier[int32(slot)] {
+			return fmt.Errorf("core: bypass audit: vertex %d has mail but is not in the frontier", e.addr.idOf(slot))
+		}
+	}
+	return nil
+}
+
+// parallelFor splits n work items across the engine's workers according
+// to the configured schedule and blocks until all complete. A panic in
+// body (a buggy user program, or the framework's own misuse panics such
+// as Send on the pull combiner) is contained: the offending worker stops,
+// the phase completes, and Run reports the panic as an error instead of
+// tearing the process down.
+func (e *Engine[V, M]) parallelFor(n int, body func(worker, i int)) {
+	if n == 0 {
+		return
+	}
+	guard := func(w int, loop func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+			}
+		}()
+		if e.busy != nil {
+			t0 := time.Now()
+			defer func() { e.busy[w] += time.Since(t0) }()
+		}
+		loop()
+	}
+	t := e.threads
+	if t > n {
+		t = n
+	}
+	if t == 1 {
+		guard(0, func() {
+			for i := 0; i < n; i++ {
+				body(0, i)
+			}
+		})
+		return
+	}
+
+	var perWorker func(w int)
+	switch e.cfg.Schedule {
+	case ScheduleDynamic:
+		chunk := n / (t * 16)
+		if chunk < 64 {
+			chunk = 64
+		}
+		var cursor int64
+		perWorker = func(w int) {
+			guard(w, func() {
+				for {
+					lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						body(w, i)
+					}
+				}
+			})
+		}
+	default: // ScheduleStatic: the paper's equal contiguous shares
+		perWorker = func(w int) {
+			lo, hi := w*n/t, (w+1)*n/t
+			guard(w, func() {
+				for i := lo; i < hi; i++ {
+					body(w, i)
+				}
+			})
+		}
+	}
+
+	if e.pool != nil {
+		e.pool.run(t, perWorker)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func(w int) {
+			defer wg.Done()
+			perWorker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Observe installs a callback invoked after every superstep barrier with
+// that superstep's statistics — live progress for long computations (the
+// USA-road Hashmin runs of §7.3 take the paper almost an hour). Call
+// before Run; the callback runs on the coordinating goroutine.
+func (e *Engine[V, M]) Observe(fn func(superstep int, s StepStats)) error {
+	if e.ran {
+		return errors.New("core: cannot observe after Run")
+	}
+	e.observer = fn
+	return nil
+}
+
+// Value returns the final user value of the vertex with external
+// identifier id. Valid after Run.
+func (e *Engine[V, M]) Value(id graph.VertexID) V {
+	return e.values[e.addr.locate(id)]
+}
+
+// ValuesDense copies the vertex values out in internal-index order
+// (index i holds the value of external identifier Base()+i).
+func (e *Engine[V, M]) ValuesDense() []V {
+	out := make([]V, e.g.N())
+	for i := range out {
+		out[i] = e.values[i+e.shift]
+	}
+	return out
+}
+
+// Graph returns the engine's graph.
+func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
+
+// Config returns the engine's configuration.
+func (e *Engine[V, M]) Config() Config { return e.cfg }
+
+// FootprintBytes reports the engine's own heap bytes — vertex values,
+// activity flags, the mailbox arrays of the selected combiner version,
+// the addressing structure and the bypass state. The graph's CSR arrays
+// are excluded, matching the paper's separation of "graph binary size"
+// from framework overhead (§7.4.2); add graph.MemoryBytes() for the
+// total.
+func (e *Engine[V, M]) FootprintBytes() uint64 {
+	var v V
+	b := uint64(e.slots) * uint64(unsafe.Sizeof(v)) // values
+	b += uint64(len(e.active))                      // activity flags
+	b += e.mb.footprintBytes()
+	b += e.addr.overheadBytes()
+	if e.cfg.SelectionBypass {
+		b += uint64(len(e.inNext)) * 4
+		b += uint64(cap(e.frontier)+cap(e.frontierNext)) * 4
+	}
+	return b
+}
+
+// Run is the package-level convenience: build an engine and run it.
+func Run[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M], Report, error) {
+	e, err := New(g, cfg, prog)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := e.Run()
+	return e, rep, err
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+	"unsafe"
+
+	"ipregel/internal/graph"
+)
+
+// CombineFunc merges a newly received message into the single message a
+// mailbox holds (paper Fig. 4, IP_combine). It must be commutative and
+// associative for the result to be independent of delivery order.
+type CombineFunc[M any] func(old *M, new M)
+
+// mailbox is the combination module (paper §6). Each implementation owns
+// the arrays whose sizes the paper's memory analysis compares: the push
+// versions carry one lock per vertex (mutex 8 B, spinlock 4 B in Go); the
+// pull version carries no locks but needs per-vertex outboxes.
+//
+// All mailboxes are double-buffered: compute at superstep s reads the
+// "now" buffer (messages sent during s-1) while new messages land in the
+// "next" buffer, swapped at the barrier.
+type mailbox[M any] interface {
+	// deliver pushes msg into slot dst's next-superstep inbox, combining
+	// if a message is already present. Safe for concurrent senders on the
+	// push implementations; panics on the pull implementation (Send is
+	// not part of the broadcast-only contract, §6.2).
+	deliver(dst int, msg M)
+	// setOutbox buffers the broadcast payload of slot src (pull only).
+	setOutbox(src int, msg M)
+	// collectInto fetches and combines the outboxes of slot's
+	// in-neighbours into slot's next inbox (pull only). Only the owner of
+	// slot may call it, which is what makes the pull design race-free.
+	collectInto(slot int)
+	// take moves the current message for slot into *m, reporting whether
+	// one existed. A second call in the same superstep returns false,
+	// matching IP_get_next_message's drain loop over the single-message
+	// mailbox (§6.3).
+	take(slot int, m *M) bool
+	// hasCurrent reports whether slot has an unread current message.
+	hasCurrent(slot int) bool
+	// peek reads slot's current message without consuming it (used by
+	// checkpointing at barriers).
+	peek(slot int) (M, bool)
+	// restoreCurrent reinstates a current message (checkpoint restore).
+	restoreCurrent(slot int, m M)
+	// swap publishes the next buffer as current. Stale unread flags from
+	// the previous superstep are cleared.
+	swap()
+	// clearOutboxes resets all broadcast flags (pull only; called after
+	// the collect phase).
+	clearOutboxes()
+	// usesPull distinguishes the collect-phase implementations.
+	usesPull() bool
+	// footprintBytes reports the heap bytes of the mailbox arrays, for
+	// the §7.4 accounting.
+	footprintBytes() uint64
+}
+
+// pushBuffers is the state shared by both push-based combiners.
+type pushBuffers[M any] struct {
+	combine         CombineFunc[M]
+	now, next       []M
+	hasNow, hasNext []uint8
+}
+
+func newPushBuffers[M any](slots int, combine CombineFunc[M]) pushBuffers[M] {
+	return pushBuffers[M]{
+		combine: combine,
+		now:     make([]M, slots),
+		next:    make([]M, slots),
+		hasNow:  make([]uint8, slots),
+		hasNext: make([]uint8, slots),
+	}
+}
+
+func (b *pushBuffers[M]) take(slot int, m *M) bool {
+	if b.hasNow[slot] == 0 {
+		return false
+	}
+	*m = b.now[slot]
+	b.hasNow[slot] = 0
+	return true
+}
+
+func (b *pushBuffers[M]) hasCurrent(slot int) bool { return b.hasNow[slot] != 0 }
+
+func (b *pushBuffers[M]) peek(slot int) (M, bool) {
+	var m M
+	if b.hasNow[slot] == 0 {
+		return m, false
+	}
+	return b.now[slot], true
+}
+
+func (b *pushBuffers[M]) restoreCurrent(slot int, m M) {
+	b.now[slot] = m
+	b.hasNow[slot] = 1
+}
+
+func (b *pushBuffers[M]) swap() {
+	clear(b.hasNow) // drop stale flags of vertices that never drained
+	b.now, b.next = b.next, b.now
+	b.hasNow, b.hasNext = b.hasNext, b.hasNow
+}
+
+// depositLocked combines msg into slot's next inbox; the caller must hold
+// slot's lock.
+func (b *pushBuffers[M]) depositLocked(dst int, msg M) {
+	if b.hasNext[dst] != 0 {
+		b.combine(&b.next[dst], msg)
+	} else {
+		b.next[dst] = msg
+		b.hasNext[dst] = 1
+	}
+}
+
+func (b *pushBuffers[M]) buffersBytes() uint64 {
+	var m M
+	msg := uint64(unsafe.Sizeof(m))
+	slots := uint64(len(b.now))
+	return slots*(2*msg) + slots*2
+}
+
+// mutexMailbox is the block-waiting push combiner (§6.1): one sync.Mutex
+// per vertex mailbox.
+type mutexMailbox[M any] struct {
+	pushBuffers[M]
+	locks []sync.Mutex
+}
+
+func newMutexMailbox[M any](slots int, combine CombineFunc[M]) *mutexMailbox[M] {
+	return &mutexMailbox[M]{
+		pushBuffers: newPushBuffers[M](slots, combine),
+		locks:       make([]sync.Mutex, slots),
+	}
+}
+
+func (mb *mutexMailbox[M]) deliver(dst int, msg M) {
+	mb.locks[dst].Lock()
+	mb.depositLocked(dst, msg)
+	mb.locks[dst].Unlock()
+}
+
+func (mb *mutexMailbox[M]) setOutbox(int, M) {
+	panic("core: broadcast outbox used with a push combiner")
+}
+func (mb *mutexMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
+func (mb *mutexMailbox[M]) clearOutboxes()  {}
+func (mb *mutexMailbox[M]) usesPull() bool  { return false }
+func (mb *mutexMailbox[M]) footprintBytes() uint64 {
+	return mb.buffersBytes() + uint64(len(mb.locks))*mutexBytes
+}
+
+// spinMailbox is the busy-waiting push combiner (§6.1): one 4-byte
+// spinlock per vertex mailbox, 50% lighter than the mutex version in Go
+// (90% in the paper's C, where a pthread mutex is 40 bytes).
+type spinMailbox[M any] struct {
+	pushBuffers[M]
+	locks []spinLock
+}
+
+func newSpinMailbox[M any](slots int, combine CombineFunc[M]) *spinMailbox[M] {
+	return &spinMailbox[M]{
+		pushBuffers: newPushBuffers[M](slots, combine),
+		locks:       make([]spinLock, slots),
+	}
+}
+
+func (mb *spinMailbox[M]) deliver(dst int, msg M) {
+	mb.locks[dst].lock()
+	mb.depositLocked(dst, msg)
+	mb.locks[dst].unlock()
+}
+
+func (mb *spinMailbox[M]) setOutbox(int, M) {
+	panic("core: broadcast outbox used with a push combiner")
+}
+func (mb *spinMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
+func (mb *spinMailbox[M]) clearOutboxes()  {}
+func (mb *spinMailbox[M]) usesPull() bool  { return false }
+func (mb *spinMailbox[M]) footprintBytes() uint64 {
+	return mb.buffersBytes() + uint64(len(mb.locks))*spinLockBytes
+}
+
+// pullMailbox is the pull-based combiner (§6.2). Senders buffer one
+// message in their own outbox; at the end of the superstep each vertex
+// fetches its in-neighbours' outboxes and combines into its own inbox.
+// All inter-vertex interaction is read-only, so no locks exist at all —
+// the paper's race-free design with zero data-race-protection memory.
+type pullMailbox[M any] struct {
+	pushBuffers[M] // reused as the double-buffered inbox (no locks taken)
+	outbox         []M
+	outFlag        []uint8
+	g              *graph.Graph
+	shift          int
+}
+
+func newPullMailbox[M any](slots int, combine CombineFunc[M], g *graph.Graph, shift int) *pullMailbox[M] {
+	return &pullMailbox[M]{
+		pushBuffers: newPushBuffers[M](slots, combine),
+		outbox:      make([]M, slots),
+		outFlag:     make([]uint8, slots),
+		g:           g,
+		shift:       shift,
+	}
+}
+
+func (mb *pullMailbox[M]) deliver(int, M) {
+	panic("core: IP_send_message is not available with the pull combiner; the broadcast version requires broadcast-only applications (paper §6.2)")
+}
+
+func (mb *pullMailbox[M]) setOutbox(src int, msg M) {
+	mb.outbox[src] = msg
+	mb.outFlag[src] = 1
+}
+
+func (mb *pullMailbox[M]) collectInto(slot int) {
+	idx := slot - mb.shift
+	for _, nb := range mb.g.InNeighbors(idx) {
+		nbSlot := int(nb) + mb.shift
+		if mb.outFlag[nbSlot] != 0 {
+			mb.depositLocked(slot, mb.outbox[nbSlot]) // owner-only write: no lock needed
+		}
+	}
+}
+
+func (mb *pullMailbox[M]) clearOutboxes() { clear(mb.outFlag) }
+func (mb *pullMailbox[M]) usesPull() bool { return true }
+
+func (mb *pullMailbox[M]) footprintBytes() uint64 {
+	var m M
+	msg := uint64(unsafe.Sizeof(m))
+	return mb.buffersBytes() + uint64(len(mb.outbox))*msg + uint64(len(mb.outFlag))
+}
+
+// newMailbox builds the combination module version chosen by cfg.
+func newMailbox[M any](cfg Config, slots int, combine CombineFunc[M], g *graph.Graph, shift int) mailbox[M] {
+	switch cfg.Combiner {
+	case CombinerMutex:
+		return newMutexMailbox[M](slots, combine)
+	case CombinerSpin:
+		return newSpinMailbox[M](slots, combine)
+	case CombinerPull:
+		return newPullMailbox[M](slots, combine, g, shift)
+	}
+	panic("core: unknown combiner")
+}

@@ -1,0 +1,52 @@
+package core
+
+// workerPool keeps one long-lived goroutine per worker for engines
+// configured with Config.PersistentWorkers. The default engine forks
+// goroutines per phase (cheap in Go, and what the fork-join OpenMP model
+// of the paper maps to most directly); a persistent pool avoids the
+// per-phase spawn cost at the price of channel synchronisation — the
+// classic shared-memory BSP trade-off, measurable with
+// BenchmarkWorkerPool.
+type workerPool struct {
+	jobs []chan func()
+	done chan struct{}
+}
+
+func newWorkerPool(threads int) *workerPool {
+	p := &workerPool{
+		jobs: make([]chan func(), threads),
+		done: make(chan struct{}, threads),
+	}
+	for i := range p.jobs {
+		ch := make(chan func(), 1)
+		p.jobs[i] = ch
+		go func() {
+			for f := range ch {
+				f()
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches f(w) to the first t workers and blocks until all
+// complete. f must contain its own panic handling (the engine's guard
+// wrapper provides it).
+func (p *workerPool) run(t int, f func(w int)) {
+	for w := 0; w < t; w++ {
+		w := w
+		p.jobs[w] <- func() { f(w) }
+	}
+	for w := 0; w < t; w++ {
+		<-p.done
+	}
+}
+
+// stop terminates the worker goroutines; the pool must not be used
+// afterwards.
+func (p *workerPool) stop() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}

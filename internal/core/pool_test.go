@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestPersistentWorkersEquivalent(t *testing.T) {
+	g := ringGraph(64, 0)
+	var want []uint32
+	for _, persistent := range []bool{false, true} {
+		for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic} {
+			cfg := Config{Threads: 4, PersistentWorkers: persistent, Schedule: sched}
+			e, rep, err := Run(g, cfg, counterProgram(5))
+			if err != nil {
+				t.Fatalf("persistent=%v sched=%v: %v", persistent, sched, err)
+			}
+			if !rep.Converged {
+				t.Fatal("not converged")
+			}
+			got := e.ValuesDense()
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("persistent=%v sched=%v: value[%d] differs", persistent, sched, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPersistentWorkersPanicContained(t *testing.T) {
+	g := ringGraph(32, 0)
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if v.ID() == 5 {
+				panic("pool boom")
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+	_, _, err := Run(g, Config{Threads: 4, PersistentWorkers: true}, prog)
+	if err == nil || !strings.Contains(err.Error(), "pool boom") {
+		t.Fatalf("want contained panic, got %v", err)
+	}
+}
+
+func TestPersistentWorkersWithBypassAndPull(t *testing.T) {
+	g := ringGraph(40, 0)
+	for _, cfg := range []Config{
+		{Threads: 3, PersistentWorkers: true, Combiner: CombinerSpin, SelectionBypass: true},
+		{Threads: 3, PersistentWorkers: true, Combiner: CombinerPull},
+	} {
+		e, _, err := Run(g, cfg, haltingFlood(12))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.VersionName(), err)
+		}
+		ref, _, err := Run(g, Config{Threads: 1, Combiner: cfg.Combiner, SelectionBypass: cfg.SelectionBypass}, haltingFlood(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := e.ValuesDense(), ref.ValuesDense()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: pooled result differs at %d", cfg.VersionName(), i)
+			}
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	g := ringGraph(32, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(c *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if c.Superstep() == 2 && v.ID() == 0 {
+				select {
+				case <-started:
+				default:
+					close(started)
+				}
+			}
+			c.Broadcast(v, 1) // never halts on its own
+		},
+	}
+	e, err := New(g, Config{Threads: 2, MaxSupersteps: 1 << 20}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	rep, err := e.RunContext(ctx)
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+	if rep.Converged {
+		t.Fatal("cancelled run reported converged")
+	}
+	if len(rep.Steps) < 2 {
+		t.Fatalf("expected some supersteps before cancellation, got %d", len(rep.Steps))
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	g := ringGraph(8, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := New(g, Config{}, counterProgram(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunContext(ctx); err == nil {
+		t.Fatal("pre-cancelled context accepted")
+	}
+}
+
+func TestWorkerPoolDirect(t *testing.T) {
+	p := newWorkerPool(4)
+	counts := make([]int, 4)
+	for round := 0; round < 10; round++ {
+		p.run(4, func(w int) { counts[w]++ })
+	}
+	p.stop()
+	for w, c := range counts {
+		if c != 10 {
+			t.Fatalf("worker %d ran %d times, want 10", w, c)
+		}
+	}
+	// run with fewer workers than the pool size
+	p2 := newWorkerPool(4)
+	defer p2.stop()
+	hit := make([]bool, 4)
+	p2.run(2, func(w int) { hit[w] = true })
+	if !hit[0] || !hit[1] || hit[2] || hit[3] {
+		t.Fatalf("partial dispatch wrong: %v", hit)
+	}
+}

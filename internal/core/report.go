@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StepStats records one superstep's activity, the quantities the paper's
+// §7.2 analysis reasons about (ratio of active vertices, message volume).
+type StepStats struct {
+	// Ran is the number of vertices executed this superstep.
+	Ran int64
+	// Messages is the number of Send calls (push) or buffered broadcasts
+	// (pull) issued this superstep.
+	Messages uint64
+	// Active is the number of vertices still active after the superstep.
+	Active int64
+	// Duration is the wall-clock time of the superstep.
+	Duration time.Duration
+	// WorkerBusy holds each worker's busy time this superstep when
+	// Config.TrackWorkerTime is set (nil otherwise).
+	WorkerBusy []time.Duration
+}
+
+// Imbalance returns max/mean of the workers' busy times (1 = perfectly
+// balanced; 0 when untracked or idle).
+func (s StepStats) Imbalance() float64 {
+	if len(s.WorkerBusy) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, b := range s.WorkerBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.WorkerBusy))
+	return float64(max) / mean
+}
+
+// Report summarises one engine run.
+type Report struct {
+	// Version is the Fig. 7 legend name of the configuration, e.g.
+	// "spinlock+bypass".
+	Version string
+	// Supersteps is the number of supersteps executed.
+	Supersteps int
+	// TotalMessages counts all messages sent across the run.
+	TotalMessages uint64
+	// Duration is the superstep execution time — like the paper's
+	// methodology it excludes graph loading and preprocessing (§7.1.2).
+	Duration time.Duration
+	// Converged is false when the run was aborted (superstep limit or
+	// bypass violation).
+	Converged bool
+	// Steps holds per-superstep statistics.
+	Steps []StepStats
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%-18s supersteps=%-6d msgs=%-12d time=%v", r.Version, r.Supersteps, r.TotalMessages, r.Duration.Round(time.Microsecond))
+}
+
+// ActiveSeries returns the per-superstep active-vertex counts, the curve
+// the paper uses to characterise PageRank (flat), Hashmin (decreasing)
+// and SSSP (bell) in §7.1.4.
+func (r Report) ActiveSeries() []int64 {
+	out := make([]int64, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Active
+	}
+	return out
+}
+
+// RanSeries returns the per-superstep executed-vertex counts.
+func (r Report) RanSeries() []int64 {
+	out := make([]int64, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Ran
+	}
+	return out
+}
+
+// LoadImbalance averages StepStats.Imbalance over the supersteps that
+// recorded worker times (1 = perfectly balanced; 0 when untracked).
+func (r Report) LoadImbalance() float64 {
+	var sum float64
+	n := 0
+	for _, s := range r.Steps {
+		if im := s.Imbalance(); im > 0 {
+			sum += im
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table renders the per-superstep statistics for debugging.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "superstep %8s %12s %8s %12s\n", "ran", "messages", "active", "time")
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "%9d %8d %12d %8d %12v\n", i, s.Ran, s.Messages, s.Active, s.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package femtograph
+
+import (
+	"ipregel/internal/graph"
+)
+
+// The evaluation applications written against the FemtoGraph-style API.
+// Without combiners, compute folds the full message queue itself.
+
+// PageRankProgram is Fig. 6 PageRank over message queues.
+func PageRankProgram(rounds int) Program[float64, float64] {
+	return Program[float64, float64]{
+		Compute: func(ctx *Context[float64, float64], v *Vertex[float64, float64]) {
+			n := float64(ctx.NumVertices())
+			if ctx.Superstep() == 0 {
+				v.Value = 1.0 / n
+			} else {
+				sum := 0.0
+				for _, m := range v.Messages() {
+					sum += m
+				}
+				v.Value = 0.15/n + 0.85*sum
+			}
+			if ctx.Superstep() < rounds {
+				if d := len(v.OutNeighbors()); d > 0 {
+					ctx.Broadcast(v, v.Value/float64(d))
+				}
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+}
+
+// PageRank runs the program and returns ranks in internal-index order.
+func PageRank(g *graph.Graph, cfg Config, rounds int) ([]float64, Report, error) {
+	e, err := New(g, cfg, PageRankProgram(rounds))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := e.Run(cfg.MaxSupersteps)
+	if err != nil {
+		return nil, rep, err
+	}
+	return e.ValuesDense(), rep, nil
+}
+
+// HashminProgram is minimum-label propagation over message queues.
+func HashminProgram() Program[uint32, uint32] {
+	return Program[uint32, uint32]{
+		Compute: func(ctx *Context[uint32, uint32], v *Vertex[uint32, uint32]) {
+			if ctx.Superstep() == 0 {
+				v.Value = uint32(v.ID)
+				ctx.Broadcast(v, v.Value)
+			} else {
+				best := ^uint32(0)
+				for _, m := range v.Messages() {
+					if m < best {
+						best = m
+					}
+				}
+				if best < v.Value {
+					v.Value = best
+					ctx.Broadcast(v, best)
+				}
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+}
+
+// Hashmin runs the program and returns labels in internal-index order.
+func Hashmin(g *graph.Graph, cfg Config) ([]uint32, Report, error) {
+	e, err := New(g, cfg, HashminProgram())
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := e.Run(cfg.MaxSupersteps)
+	if err != nil {
+		return nil, rep, err
+	}
+	return e.ValuesDense(), rep, nil
+}
+
+// SSSPProgram is Fig. 5 unit-weight SSSP over message queues.
+func SSSPProgram(source graph.VertexID) Program[uint32, uint32] {
+	return Program[uint32, uint32]{
+		Compute: func(ctx *Context[uint32, uint32], v *Vertex[uint32, uint32]) {
+			if ctx.Superstep() == 0 {
+				v.Value = ^uint32(0)
+			}
+			ref := ^uint32(0)
+			if v.ID == source {
+				ref = 0
+			}
+			for _, m := range v.Messages() {
+				if m < ref {
+					ref = m
+				}
+			}
+			if ref < v.Value {
+				v.Value = ref
+				ctx.Broadcast(v, ref+1)
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+}
+
+// SSSP runs the program and returns distances in internal-index order.
+func SSSP(g *graph.Graph, cfg Config, source graph.VertexID) ([]uint32, Report, error) {
+	e, err := New(g, cfg, SSSPProgram(source))
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := e.Run(cfg.MaxSupersteps)
+	if err != nil {
+		return nil, rep, err
+	}
+	return e.ValuesDense(), rep, nil
+}

@@ -1,0 +1,144 @@
+package femtograph
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ipregel/internal/algorithms"
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+)
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := gen.RMATN(150, 900, 13, 1, false)
+	want := algorithms.RefPageRank(g, 10)
+	for _, threads := range []int{1, 4} {
+		got, rep, err := PageRank(g, Config{Threads: threads}, 10)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !rep.Converged || rep.Supersteps != 11 {
+			t.Fatalf("threads=%d: %+v", threads, rep)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("threads=%d: rank[%d]=%g want %g", threads, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHashminAndSSSPMatchIPregel(t *testing.T) {
+	g := gen.Road(gen.RoadParams{Rows: 8, Cols: 9, Base: 1, BuildInEdges: true, Seed: 5})
+	wantL, _, err := algorithms.Hashmin(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, _, err := algorithms.SSSP(g, core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotL, _, err := Hashmin(g, Config{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, _, err := SSSP(g, Config{Threads: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantL {
+		if gotL[i] != wantL[i] || gotD[i] != wantD[i] {
+			t.Fatalf("mismatch at %d: labels %d/%d dist %d/%d", i, gotL[i], wantL[i], gotD[i], wantD[i])
+		}
+	}
+}
+
+// The architectural contrast the paper's §6.3 predicts: FemtoGraph-style
+// queues hold up to one message per in-edge, while iPregel's combiner
+// mailboxes hold at most one per vertex.
+func TestQueueGrowthVsCombiner(t *testing.T) {
+	g := gen.RMATN(300, 3000, 3, 1, false)
+	_, rep, err := PageRank(g, Config{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakQueuedMessages <= uint64(g.N()) {
+		t.Fatalf("peak queued %d should exceed |V|=%d on a dense graph (no combining)", rep.PeakQueuedMessages, g.N())
+	}
+	if rep.PeakQueuedMessages > g.M() {
+		t.Fatalf("peak queued %d cannot exceed |E|=%d for broadcast apps", rep.PeakQueuedMessages, g.M())
+	}
+}
+
+func TestRunOnceAndLimits(t *testing.T) {
+	g := gen.Ring(10, 0)
+	e, err := New(g, Config{}, HashminProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err == nil {
+		t.Fatal("second Run accepted")
+	}
+	// runaway program hits the cap
+	e2, _ := New(g, Config{}, Program[uint32, uint32]{
+		Compute: func(ctx *Context[uint32, uint32], v *Vertex[uint32, uint32]) { ctx.Broadcast(v, 1) },
+	})
+	if _, err := e2.Run(4); !errors.Is(err, ErrMaxSupersteps) {
+		t.Fatalf("want ErrMaxSupersteps, got %v", err)
+	}
+}
+
+func TestMissingCompute(t *testing.T) {
+	if _, err := New(gen.Ring(4, 0), Config{}, Program[uint32, uint32]{}); err == nil {
+		t.Fatal("missing Compute accepted")
+	}
+}
+
+func TestSendUnknownPanics(t *testing.T) {
+	g := gen.Ring(4, 0)
+	e, _ := New(g, Config{}, Program[uint32, uint32]{
+		Compute: func(ctx *Context[uint32, uint32], v *Vertex[uint32, uint32]) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			ctx.SendTo(99, 1)
+		},
+	})
+	_, _ = e.Run(1)
+}
+
+func TestMoreThreadsThanVertices(t *testing.T) {
+	g := gen.Chain(3, 1)
+	dist, _, err := SSSP(g, Config{Threads: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 0 || dist[1] != 1 || dist[2] != 2 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	e, err := New(gen.Ring(0, 0), Config{}, HashminProgram())
+	if err == nil {
+		// Ring(0) builds an empty graph; running it must quiesce instantly.
+		rep, rerr := e.Run(0)
+		if rerr != nil || !rep.Converged {
+			t.Fatalf("empty run: %+v %v", rep, rerr)
+		}
+	}
+}
+
+func TestMemoryBytesScales(t *testing.T) {
+	small, _ := New(gen.Ring(100, 0), Config{}, HashminProgram())
+	large, _ := New(gen.Ring(1000, 0), Config{}, HashminProgram())
+	if large.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatal("memory accounting does not scale with graph size")
+	}
+}

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"math/rand"
+
+	"ipregel/internal/graph"
+)
+
+// Weighted generators for the weighted-SSSP extension. The paper's USA
+// road input carries real edge distances (DIMACS `a src dst weight`
+// records); these generators produce the synthetic equivalent.
+
+// WeightedRoad is Road with per-edge weights drawn uniformly from
+// [minW, maxW], the same weight for both directions of a street — like
+// physical road lengths.
+func WeightedRoad(p RoadParams, minW, maxW uint32) *graph.Graph {
+	if maxW < minW {
+		minW, maxW = maxW, minW
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	var wb graph.WeightedBuilder
+	wb.ForceN(p.Rows * p.Cols)
+	wb.SetBase(p.Base)
+	if p.BuildInEdges {
+		wb.BuildInEdges()
+	}
+	id := func(r, c int) graph.VertexID { return p.Base + graph.VertexID(r*p.Cols+c) }
+	span := int64(maxW-minW) + 1
+	draw := func() uint32 { return minW + uint32(rng.Int63n(span)) }
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			if c+1 < p.Cols {
+				w := draw()
+				wb.AddEdge(id(r, c), id(r, c+1), w)
+				wb.AddEdge(id(r, c+1), id(r, c), w)
+			}
+			if r+1 < p.Rows {
+				w := draw()
+				wb.AddEdge(id(r, c), id(r+1, c), w)
+				wb.AddEdge(id(r+1, c), id(r, c), w)
+			}
+		}
+	}
+	return wb.MustBuild()
+}
+
+// WeightedER is ER with independent uniform weights in [minW, maxW].
+func WeightedER(n, m int, seed int64, base graph.VertexID, minW, maxW uint32) *graph.Graph {
+	if maxW < minW {
+		minW, maxW = maxW, minW
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var wb graph.WeightedBuilder
+	wb.ForceN(n)
+	wb.SetBase(base)
+	wb.Grow(m)
+	span := int64(maxW-minW) + 1
+	for i := 0; i < m; i++ {
+		wb.AddEdge(base+graph.VertexID(rng.Intn(n)), base+graph.VertexID(rng.Intn(n)), minW+uint32(rng.Int63n(span)))
+	}
+	return wb.MustBuild()
+}

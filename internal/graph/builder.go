@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges given with external vertex identifiers and
+// produces an immutable CSR Graph. It discovers the identifier range
+// (min..max) and maps external identifier x to internal index x-min, which
+// is exactly the consecutive-identifier requirement of the paper (§3.3).
+//
+// The zero value is ready to use.
+type Builder struct {
+	src, dst []VertexID
+	haveAny  bool
+	min, max VertexID
+
+	// ForceN, when non-zero, fixes the vertex count even if some vertices
+	// have no incident edges (identifiers min..min+ForceN-1).
+	ForceN int
+	// ForceBase, when set via SetBase, fixes the smallest identifier.
+	forceBase    VertexID
+	haveBase     bool
+	undirected   bool
+	buildInEdges bool
+	dedup        bool
+	sortAdj      bool
+}
+
+// SetBase fixes the external base identifier instead of discovering the
+// minimum from the edges. Edges referencing identifiers below the base
+// cause Build to fail.
+func (b *Builder) SetBase(base VertexID) { b.forceBase, b.haveBase = base, true }
+
+// Undirected makes Build insert the reverse of every added edge as well.
+func (b *Builder) Undirected() *Builder { b.undirected = true; return b }
+
+// BuildInEdges makes Build also materialise the in-adjacency.
+func (b *Builder) BuildInEdges() *Builder { b.buildInEdges = true; return b }
+
+// Dedup makes Build drop duplicate (src,dst) pairs and self-loops are kept;
+// it implies sorted adjacency lists.
+func (b *Builder) Dedup() *Builder { b.dedup = true; b.sortAdj = true; return b }
+
+// SortAdjacency makes Build sort each adjacency list ascending.
+func (b *Builder) SortAdjacency() *Builder { b.sortAdj = true; return b }
+
+// AddEdge records a directed edge between two external identifiers.
+func (b *Builder) AddEdge(src, dst VertexID) {
+	b.src = append(b.src, src)
+	b.dst = append(b.dst, dst)
+	if !b.haveAny {
+		b.min, b.max = src, src
+		b.haveAny = true
+	}
+	b.observe(src)
+	b.observe(dst)
+}
+
+func (b *Builder) observe(v VertexID) {
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+}
+
+// EdgeCount returns the number of directed edges added so far (before any
+// undirected doubling or dedup).
+func (b *Builder) EdgeCount() int { return len(b.src) }
+
+// Grow pre-allocates capacity for n additional edges.
+func (b *Builder) Grow(n int) {
+	if cap(b.src)-len(b.src) < n {
+		ns := make([]VertexID, len(b.src), len(b.src)+n)
+		copy(ns, b.src)
+		b.src = ns
+		nd := make([]VertexID, len(b.dst), len(b.dst)+n)
+		copy(nd, b.dst)
+		b.dst = nd
+	}
+}
+
+// Build produces the CSR graph. The Builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	base := b.min
+	if b.haveBase {
+		base = b.forceBase
+		if b.haveAny && b.min < base {
+			return nil, fmt.Errorf("graph: edge references identifier %d below base %d", b.min, base)
+		}
+	}
+	n := 0
+	if b.haveAny {
+		n = int(b.max-base) + 1
+	}
+	if b.ForceN > 0 {
+		if n > b.ForceN {
+			return nil, fmt.Errorf("graph: edges span %d vertices but ForceN=%d", n, b.ForceN)
+		}
+		n = b.ForceN
+	}
+
+	m := len(b.src)
+	if b.undirected {
+		m *= 2
+	}
+
+	outOff := make([]uint64, n+1)
+	for i, s := range b.src {
+		outOff[s-base+1]++
+		if b.undirected {
+			outOff[b.dst[i]-base+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+	}
+	outAdj := make([]VertexID, m)
+	cursor := make([]uint64, n)
+	copy(cursor, outOff[:n])
+	for i, s := range b.src {
+		u, v := int(s-base), b.dst[i]-base
+		outAdj[cursor[u]] = v
+		cursor[u]++
+		if b.undirected {
+			outAdj[cursor[v]] = VertexID(u)
+			cursor[v]++
+		}
+	}
+	b.src, b.dst = nil, nil // release
+
+	g := &Graph{n: n, base: base, outOff: outOff, outAdj: outAdj}
+	if b.sortAdj || b.dedup {
+		sortAdjacency(g.outOff, g.outAdj)
+	}
+	if b.dedup {
+		g.outOff, g.outAdj = dedupCSR(n, g.outOff, g.outAdj)
+	}
+	if b.buildInEdges {
+		g.inOff, g.inAdj = reverseCSR(n, g.outOff, g.outAdj)
+		if b.sortAdj || b.dedup {
+			sortAdjacency(g.inOff, g.inAdj)
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and
+// generators whose inputs are known valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortAdjacency(off []uint64, adj []VertexID) {
+	for i := 0; i+1 < len(off); i++ {
+		s := adj[off[i]:off[i+1]]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	}
+}
+
+// dedupCSR removes consecutive duplicates from each (sorted) adjacency
+// list, rebuilding the offsets.
+func dedupCSR(n int, off []uint64, adj []VertexID) ([]uint64, []VertexID) {
+	nOff := make([]uint64, n+1)
+	w := 0
+	for i := 0; i < n; i++ {
+		start := w
+		var prev VertexID
+		first := true
+		for _, v := range adj[off[i]:off[i+1]] {
+			if first || v != prev {
+				adj[w] = v
+				w++
+				prev = v
+				first = false
+			}
+		}
+		nOff[i+1] = nOff[i] + uint64(w-start)
+	}
+	return nOff, adj[:w:w]
+}
+
+// FromEdges is a convenience constructor building a directed graph from
+// parallel src/dst slices of external identifiers.
+func FromEdges(src, dst []VertexID) (*Graph, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: FromEdges length mismatch %d != %d", len(src), len(dst))
+	}
+	var b Builder
+	b.Grow(len(src))
+	for i := range src {
+		b.AddEdge(src[i], dst[i])
+	}
+	return b.Build()
+}

@@ -1,0 +1,304 @@
+// Package graph provides the compressed-sparse-row (CSR) graph storage that
+// every framework in this repository (the iPregel engines and the Pregel+
+// baseline) computes on.
+//
+// A Graph stores vertices under dense internal indices 0..N()-1. The
+// external identifiers found in input files may start at an arbitrary base
+// (the paper's Wikipedia and USA-road graphs start at 1); the base is
+// recorded so the addressing schemes of package core (direct, offset and
+// desolate-memory mapping, see paper §5) can translate between external
+// identifiers and internal slots.
+//
+// Out-adjacency is always present. In-adjacency is optional: it is required
+// only by the pull-based combiner and is a significant memory cost, which is
+// exactly the trade-off the paper's multi-version design exposes (§3.2,
+// §6.2). Call WithInEdges or Transpose to materialise it.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VertexID is an external vertex identifier as found in input files.
+// iPregel requires integral, consecutive identifiers (paper §3.3); 32 bits
+// match the paper's assumption of 4-byte identifiers (§7.4.2).
+type VertexID uint32
+
+// Graph is an immutable directed graph in CSR form. The zero value is an
+// empty graph. Construct real graphs with a Builder (builder.go) or the
+// generators in internal/gen.
+type Graph struct {
+	n    int
+	base VertexID
+
+	outOff []uint64
+	outAdj []VertexID
+	// outW holds per-edge weights parallel to outAdj; nil when the graph
+	// is unweighted (see weights.go).
+	outW []uint32
+
+	// in-CSR; nil slices when in-edges were not requested.
+	inOff []uint64
+	inAdj []VertexID
+}
+
+// ErrNoInEdges is returned or panicked on by operations that require the
+// in-adjacency when the graph was built without it.
+var ErrNoInEdges = errors.New("graph: in-edges were not built (use Builder.BuildInEdges or Transpose)")
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() uint64 {
+	if g.n == 0 {
+		return 0
+	}
+	return g.outOff[g.n]
+}
+
+// Base returns the smallest external vertex identifier. Internal index i
+// corresponds to external identifier Base()+i.
+func (g *Graph) Base() VertexID { return g.base }
+
+// ExternalID converts an internal index to the external identifier.
+func (g *Graph) ExternalID(i int) VertexID { return g.base + VertexID(i) }
+
+// HasInEdges reports whether the in-adjacency was materialised.
+func (g *Graph) HasInEdges() bool { return g.inOff != nil }
+
+// ErrNoOutAdjacency is panicked on by operations that enumerate
+// out-neighbours when the graph was reduced with StripOutAdjacency.
+var ErrNoOutAdjacency = errors.New("graph: out-adjacency was stripped (StripOutAdjacency); only out-degrees are available")
+
+// OutNeighbors returns the out-neighbour internal indices of vertex i as a
+// shared slice; callers must not modify it. It panics with
+// ErrNoOutAdjacency on a graph reduced by StripOutAdjacency.
+func (g *Graph) OutNeighbors(i int) []VertexID {
+	if g.outAdj == nil && g.outOff[i] != g.outOff[i+1] {
+		panic(ErrNoOutAdjacency)
+	}
+	return g.outAdj[g.outOff[i]:g.outOff[i+1]]
+}
+
+// InNeighbors returns the in-neighbour internal indices of vertex i as a
+// shared slice; callers must not modify it. It panics with ErrNoInEdges if
+// in-edges were not built.
+func (g *Graph) InNeighbors(i int) []VertexID {
+	if g.inOff == nil {
+		panic(ErrNoInEdges)
+	}
+	return g.inAdj[g.inOff[i]:g.inOff[i+1]]
+}
+
+// OutDegree returns the out-degree of vertex i.
+func (g *Graph) OutDegree(i int) int {
+	return int(g.outOff[i+1] - g.outOff[i])
+}
+
+// InDegree returns the in-degree of vertex i. It panics with ErrNoInEdges
+// if in-edges were not built.
+func (g *Graph) InDegree(i int) int {
+	if g.inOff == nil {
+		panic(ErrNoInEdges)
+	}
+	return int(g.inOff[i+1] - g.inOff[i])
+}
+
+// Edges calls fn(src, dst) for every directed edge, in CSR order. It stops
+// early if fn returns false.
+func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !fn(VertexID(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants of the CSR arrays: monotone
+// offsets, terminal offset equal to the adjacency length, and neighbour
+// indices within range. It returns nil for a well-formed graph.
+func (g *Graph) Validate() error {
+	if g.outAdj == nil && g.n > 0 && g.outOff[g.n] > 0 {
+		// degree-only layout: offsets must still be a valid prefix-sum
+		for i := 0; i < g.n; i++ {
+			if g.outOff[i+1] < g.outOff[i] {
+				return fmt.Errorf("graph: out offsets not monotone at %d", i)
+			}
+		}
+	} else if err := validateCSR("out", g.n, g.outOff, g.outAdj); err != nil {
+		return err
+	}
+	if g.inOff != nil {
+		if err := validateCSR("in", g.n, g.inOff, g.inAdj); err != nil {
+			return err
+		}
+		if g.inOff[g.n] != g.outOff[g.n] {
+			return fmt.Errorf("graph: in-edge count %d != out-edge count %d", g.inOff[g.n], g.outOff[g.n])
+		}
+	}
+	return nil
+}
+
+func validateCSR(kind string, n int, off []uint64, adj []VertexID) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("graph: %s offsets length %d, want %d", kind, len(off), n+1)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("graph: %s offsets[0] = %d, want 0", kind, off[0])
+	}
+	for i := 0; i < n; i++ {
+		if off[i+1] < off[i] {
+			return fmt.Errorf("graph: %s offsets not monotone at %d: %d > %d", kind, i, off[i], off[i+1])
+		}
+	}
+	if off[n] != uint64(len(adj)) {
+		return fmt.Errorf("graph: %s offsets[n] = %d, want %d", kind, off[n], len(adj))
+	}
+	for i, v := range adj {
+		if int(v) >= n {
+			return fmt.Errorf("graph: %s adjacency[%d] = %d out of range (n=%d)", kind, i, v, n)
+		}
+	}
+	return nil
+}
+
+// Transpose returns a new graph with every edge reversed. The result has
+// in-edges materialised if and only if the receiver's out-edges exist
+// (always), i.e. the transpose's out-CSR is the receiver's in-CSR. If the
+// receiver lacks in-edges they are computed.
+func (g *Graph) Transpose() *Graph {
+	if g.outW != nil {
+		rOff, rAdj, rW := reverseCSRWeighted(g.n, g.outOff, g.outAdj, g.outW)
+		return &Graph{n: g.n, base: g.base, outOff: rOff, outAdj: rAdj, outW: rW, inOff: g.outOff, inAdj: g.outAdj}
+	}
+	inOff, inAdj := g.inOff, g.inAdj
+	if inOff == nil {
+		inOff, inAdj = reverseCSR(g.n, g.outOff, g.outAdj)
+	}
+	return &Graph{
+		n:      g.n,
+		base:   g.base,
+		outOff: inOff,
+		outAdj: inAdj,
+		inOff:  g.outOff,
+		inAdj:  g.outAdj,
+	}
+}
+
+// WithInEdges returns a graph sharing the receiver's out-CSR with the
+// in-CSR materialised. If in-edges already exist the receiver is returned
+// unchanged.
+func (g *Graph) WithInEdges() *Graph {
+	if g.inOff != nil {
+		return g
+	}
+	inOff, inAdj := reverseCSR(g.n, g.outOff, g.outAdj)
+	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj, inOff: inOff, inAdj: inAdj}
+}
+
+// StripInEdges returns a graph sharing the receiver's out-CSR with no
+// in-adjacency, mirroring the paper's lightest vertex internals ("out
+// only", §3.2).
+func (g *Graph) StripInEdges() *Graph {
+	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj}
+}
+
+// HasOutAdjacency reports whether out-neighbour lists are materialised.
+// It is false only for graphs produced by StripOutAdjacency.
+func (g *Graph) HasOutAdjacency() bool { return g.n == 0 || g.outAdj != nil }
+
+// StripOutAdjacency returns the paper's "in only" vertex internals
+// (§3.2): in-adjacency plus out-*degrees* (kept via the out offsets, which
+// PageRank's rank division needs) but no out-neighbour lists. This is the
+// layout that lets the pull-combiner PageRank process the Twitter graph
+// in 11 GB (§7.4.3): broadcasts go to an outbox, so the sender never
+// enumerates its out-neighbours. OutNeighbors panics on the result.
+func (g *Graph) StripOutAdjacency() (*Graph, error) {
+	if g.inOff == nil {
+		return nil, ErrNoInEdges
+	}
+	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: nil, inOff: g.inOff, inAdj: g.inAdj}, nil
+}
+
+// reverseCSR builds the reversed CSR using the classic two-pass counting
+// construction.
+// Symmetrize returns a new graph containing every edge in both
+// directions, deduplicated — the input Hashmin needs to label *weakly*
+// connected components on a directed graph. Weights are not carried (the
+// result is unweighted); in-edges equal out-edges by construction and are
+// materialised when withInEdges is set.
+func (g *Graph) Symmetrize(withInEdges bool) *Graph {
+	var b Builder
+	b.ForceN = g.n
+	b.SetBase(g.base)
+	b.Dedup()
+	if withInEdges {
+		b.BuildInEdges()
+	}
+	b.Grow(int(g.M()) * 2)
+	g.Edges(func(s, d VertexID) bool {
+		b.AddEdge(g.base+s, g.base+d)
+		b.AddEdge(g.base+d, g.base+s)
+		return true
+	})
+	return b.MustBuild()
+}
+
+// reverseCSRWeighted is reverseCSR carrying per-edge weights along.
+func reverseCSRWeighted(n int, off []uint64, adj []VertexID, w []uint32) ([]uint64, []VertexID, []uint32) {
+	rOff := make([]uint64, n+1)
+	for _, v := range adj {
+		rOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		rOff[i+1] += rOff[i]
+	}
+	rAdj := make([]VertexID, len(adj))
+	rW := make([]uint32, len(adj))
+	cursor := make([]uint64, n)
+	copy(cursor, rOff[:n])
+	for u := 0; u < n; u++ {
+		for e := off[u]; e < off[u+1]; e++ {
+			v := adj[e]
+			rAdj[cursor[v]] = VertexID(u)
+			rW[cursor[v]] = w[e]
+			cursor[v]++
+		}
+	}
+	return rOff, rAdj, rW
+}
+
+func reverseCSR(n int, off []uint64, adj []VertexID) ([]uint64, []VertexID) {
+	rOff := make([]uint64, n+1)
+	for _, v := range adj {
+		rOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		rOff[i+1] += rOff[i]
+	}
+	rAdj := make([]VertexID, len(adj))
+	cursor := make([]uint64, n)
+	copy(cursor, rOff[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range adj[off[u]:off[u+1]] {
+			rAdj[cursor[v]] = VertexID(u)
+			cursor[v]++
+		}
+	}
+	return rOff, rAdj
+}
+
+// MemoryBytes returns the heap bytes held by the CSR arrays. It is used by
+// internal/memmodel when attributing footprint to the graph itself versus
+// framework overhead (paper §7.4.2 "graph binary size").
+func (g *Graph) MemoryBytes() uint64 {
+	b := uint64(len(g.outOff))*8 + uint64(len(g.outAdj))*4 + uint64(len(g.outW))*4
+	if g.inOff != nil {
+		b += uint64(len(g.inOff))*8 + uint64(len(g.inAdj))*4
+	}
+	return b
+}

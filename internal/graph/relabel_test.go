@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelIdentity(t *testing.T) {
+	g := tiny(t, func(b *Builder) { b.BuildInEdges() })
+	perm := []int{0, 1, 2, 3}
+	r := g.Relabel(perm)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := edgeMultiset(g), edgeMultiset(r)
+	for k, v := range ea {
+		if eb[k] != v {
+			t.Fatalf("identity relabel changed edges at %v", k)
+		}
+	}
+	if !r.HasInEdges() {
+		t.Fatal("in-edges dropped")
+	}
+}
+
+func TestRelabelSwap(t *testing.T) {
+	// 1 -> 2 under swap {0<->1} becomes 2 -> 1 internally.
+	var b Builder
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	r := g.Relabel([]int{1, 0})
+	if r.OutDegree(0) != 0 || r.OutDegree(1) != 1 {
+		t.Fatalf("swap degrees: %d %d", r.OutDegree(0), r.OutDegree(1))
+	}
+	if r.OutNeighbors(1)[0] != 0 {
+		t.Fatal("swap adjacency wrong")
+	}
+}
+
+// Property: relabelling preserves the edge multiset up to the
+// permutation, degrees follow vertices, and weights travel with edges.
+func TestRelabelProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		m := int(mRaw % 150)
+		rng := rand.New(rand.NewSource(seed))
+		var wb WeightedBuilder
+		wb.ForceN(n)
+		wb.SetBase(0)
+		for i := 0; i < m; i++ {
+			wb.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), uint32(rng.Intn(90)))
+		}
+		g := wb.MustBuild()
+		perm := rng.Perm(n)
+		r := g.Relabel(perm)
+		if r.Validate() != nil {
+			return false
+		}
+		inv := InvertPermutation(perm)
+		// Degrees follow.
+		for i := 0; i < n; i++ {
+			if g.OutDegree(i) != r.OutDegree(perm[i]) {
+				return false
+			}
+		}
+		// Weighted edge multiset maps through the permutation.
+		orig := map[[3]uint64]int{}
+		for u := 0; u < n; u++ {
+			adj, ws := g.OutEdgesWeighted(u)
+			for j := range adj {
+				orig[[3]uint64{uint64(u), uint64(adj[j]), uint64(ws[j])}]++
+			}
+		}
+		for u := 0; u < n; u++ {
+			adj, ws := r.OutEdgesWeighted(u)
+			for j := range adj {
+				key := [3]uint64{uint64(inv[u]), uint64(inv[adj[j]]), uint64(ws[j])}
+				orig[key]--
+				if orig[key] < 0 {
+					return false
+				}
+			}
+		}
+		for _, c := range orig {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	var b Builder
+	b.ForceN = 4
+	b.SetBase(0)
+	// degrees: 0:1, 1:3, 2:0, 3:2
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 2)
+	g := b.MustBuild()
+	perm := DegreeOrder(g)
+	// vertex 1 (deg 3) -> 0, vertex 3 (deg 2) -> 1, vertex 0 (deg 1) -> 2,
+	// vertex 2 (deg 0) -> 3
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	r := g.Relabel(perm)
+	for i := 0; i+1 < r.N(); i++ {
+		if r.OutDegree(i) < r.OutDegree(i+1) {
+			t.Fatal("relabelled degrees not descending")
+		}
+	}
+}
+
+func TestRelabelBadPermPanics(t *testing.T) {
+	g := tiny(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short permutation accepted")
+		}
+	}()
+	g.Relabel([]int{0})
+}
+
+func TestInvertPermutation(t *testing.T) {
+	perm := []int{2, 0, 1}
+	inv := InvertPermutation(perm)
+	for old, new_ := range perm {
+		if inv[new_] != old {
+			t.Fatalf("inv = %v", inv)
+		}
+	}
+}

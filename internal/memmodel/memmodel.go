@@ -1,0 +1,204 @@
+// Package memmodel provides the memory-footprint machinery of the
+// paper's §7.4 evaluation:
+//
+//   - a runtime peak-heap sampler standing in for `time -v`'s maximum
+//     resident set size (§7.1.2) — this reproduction measures the Go
+//     heap, the moral equivalent for a garbage-collected runtime;
+//   - the "graph binary size" separating the graph itself from framework
+//     overhead (§7.4.2);
+//   - analytic byte models for iPregel (derived from this repository's
+//     actual array layouts), Pregel+ and Giraph (calibrated to the
+//     numbers reported in the paper and its reference [20]), used for the
+//     full-scale projections of §7.4.3 that no laptop can measure
+//     directly.
+package memmodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ipregel/internal/core"
+)
+
+// MeasurePeakHeap runs fn while sampling runtime.MemStats.HeapAlloc and
+// returns the observed peak and the pre-run baseline, both in bytes.
+// Sampling every 200µs bounds how short-lived a spike can hide, which is
+// the same limitation `time -v`'s RSS sampling has.
+func MeasurePeakHeap(fn func()) (peak, baseline uint64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline = ms.HeapAlloc
+	peak = baseline
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(200 * time.Microsecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				if s.HeapAlloc > peak {
+					peak = s.HeapAlloc
+				}
+			}
+		}
+	}()
+	fn()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	close(done)
+	wg.Wait()
+	if end.HeapAlloc > peak {
+		peak = end.HeapAlloc
+	}
+	return peak, baseline
+}
+
+// GraphBinaryBytes is the paper's "binary size" of a graph (§7.4.2):
+// each vertex stores its identifier plus those of its out-neighbours, at
+// 4 bytes per identifier. For the Twitter graph this evaluates to ≈8 GB,
+// matching the paper's calculation.
+func GraphBinaryBytes(v, e uint64) uint64 { return 4*v + 4*e }
+
+// CSRBytes is this repository's in-memory CSR cost for one direction:
+// 8-byte offsets per vertex (+1) plus 4-byte adjacency per edge.
+func CSRBytes(v, e uint64) uint64 { return 8*(v+1) + 4*e }
+
+// IPregelParams describes an engine instantiation for the analytic model.
+type IPregelParams struct {
+	Config core.Config
+	// V, E are the graph dimensions; Base is the smallest identifier
+	// (desolate mapping wastes Base slots).
+	V, E, Base uint64
+	// ValueBytes and MessageBytes are the user value and message sizes.
+	ValueBytes, MessageBytes uint64
+	// InAdjacency / OutAdjacency say which CSR directions are resident
+	// (the paper's per-version vertex internals, §3.2).
+	InAdjacency, OutAdjacency bool
+}
+
+// IPregelBytes computes the analytic footprint of an iPregel engine plus
+// its graph, mirroring exactly the allocations of internal/core (the unit
+// tests cross-check this against Engine.FootprintBytes). The
+// selection-bypass frontier arrays are counted at their worst case (every
+// vertex enrolled).
+func IPregelBytes(p IPregelParams) uint64 {
+	slots := p.V
+	if p.Config.Addressing == core.AddressDesolate {
+		slots += p.Base
+	}
+	total := slots * p.ValueBytes // values
+	total += slots                // active flags
+
+	// mailbox: double-buffered single-message inboxes + flags
+	total += slots*2*p.MessageBytes + slots*2
+	switch p.Config.Combiner {
+	case core.CombinerMutex:
+		total += slots * 8
+	case core.CombinerSpin:
+		total += slots * 4
+	case core.CombinerPull:
+		total += slots*p.MessageBytes + slots // outbox + flags, no locks
+	}
+	if p.Config.Addressing == core.AddressHashmap {
+		total += p.V * (4 + 4 + 10 + 4) // map entries + ids slice (see core)
+	}
+	if p.Config.SelectionBypass {
+		total += slots * 4   // dedup flags
+		total += 2 * p.V * 4 // frontier double buffer, worst case
+	}
+	// graph
+	if p.OutAdjacency {
+		total += CSRBytes(p.V, p.E)
+	} else {
+		total += 8 * (p.V + 1) // degree-only: offsets remain
+	}
+	if p.InAdjacency {
+		total += CSRBytes(p.V, p.E)
+	}
+	return total
+}
+
+// PregelPlusParams describes a Pregel+ deployment for the analytic model.
+type PregelPlusParams struct {
+	V, E         uint64
+	MessageBytes uint64
+	ValueBytes   uint64
+	// Workers is the total process count (nodes × procs/node).
+	Workers uint64
+	// Combiner limits per-vertex inbox growth to one message per sending
+	// worker.
+	Combiner bool
+}
+
+// EnvBytesPerProcess models the duplicated "application and distributed
+// software environment" each MPI process keeps resident (§7.4.4). The
+// 1 GiB value calibrates the full-Twitter projection to the paper's
+// reported 109 GB for Pregel+ (§7.4.3); see EXPERIMENTS.md.
+const EnvBytesPerProcess = 1 << 30
+
+// PregelPlusBytes computes the analytic peak footprint of the Pregel+
+// baseline, mirroring internal/pregelplus's structures: boxed vertices
+// behind hash maps, per-vertex adjacency and inbox queues, wrapped
+// messages in send and receive buffers, plus the per-process environment.
+func PregelPlusBytes(p PregelPlusParams) uint64 {
+	const (
+		allocHeader = 16
+		mapEntry    = 48
+		vertexFixed = 64 // struct Vertex: id+value+flags+slice headers, rounded
+	)
+	msgs := p.E // one message per edge per superstep (PageRank steady state)
+	if p.Combiner && p.V*p.Workers < msgs {
+		msgs = p.V * p.Workers
+	}
+	total := p.V * (vertexFixed + allocHeader + mapEntry + p.ValueBytes)
+	total += p.E*4 + p.V*allocHeader // per-vertex adjacency slices
+	total += p.V * 4                 // iteration order
+	total += msgs * p.MessageBytes   // inbox queues at peak
+	wire := msgs * (4 + p.MessageBytes)
+	total += 2 * wire // send + receive buffers coexist at the exchange
+	total += p.Workers * EnvBytesPerProcess
+	return total
+}
+
+// GiraphOverheadFactor calibrates the Giraph model: the paper (quoting
+// its reference [20]) reports 264 GB for PageRank on the 8 GB-binary
+// Twitter graph, i.e. a total of ~33× the binary size, of which 32× is
+// framework overhead. Giraph is never executed here (nor in the paper);
+// this constant only reproduces the §7.4.3 comparison row.
+const GiraphOverheadFactor = 32
+
+// GiraphBytes projects Giraph's footprint as binary size × (1 +
+// GiraphOverheadFactor).
+func GiraphBytes(v, e uint64) uint64 {
+	return GraphBinaryBytes(v, e) * (1 + GiraphOverheadFactor)
+}
+
+// GB formats a byte count in the paper's decimal units, falling back to
+// MB/KB below a gigabyte so scaled-down experiments stay readable.
+func GB(b uint64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// FitsBudget reports whether a footprint fits a memory budget — the
+// breaking-point predicate of §7.4.2.
+func FitsBudget(bytes, budget uint64) bool { return bytes <= budget }

@@ -1,0 +1,172 @@
+package memmodel
+
+import (
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+)
+
+func TestMeasurePeakHeapSeesAllocation(t *testing.T) {
+	const chunk = 64 << 20
+	peak, baseline := MeasurePeakHeap(func() {
+		buf := make([]byte, chunk)
+		for i := 0; i < len(buf); i += 4096 {
+			buf[i] = 1
+		}
+		_ = buf
+	})
+	if peak < baseline+chunk/2 {
+		t.Fatalf("peak %d did not register a %d-byte allocation over baseline %d", peak, chunk, baseline)
+	}
+}
+
+func TestGraphBinaryBytesMatchesPaper(t *testing.T) {
+	// §7.4.2: "The binary size of the Twitter graph is calculated to 8GB".
+	b := GraphBinaryBytes(gen.TwitterV, gen.TwitterE)
+	if b < 7_800_000_000 || b > 8_300_000_000 {
+		t.Fatalf("Twitter binary size = %s, paper says ≈8GB", GB(b))
+	}
+}
+
+// The analytic iPregel model must agree exactly with the engine's own
+// accounting plus the graph's CSR cost (no drift between model and code).
+func TestIPregelModelMatchesEngine(t *testing.T) {
+	g := gen.RMATN(500, 3000, 11, 1, true)
+	for _, cfg := range []core.Config{
+		{Combiner: core.CombinerMutex},
+		{Combiner: core.CombinerSpin},
+		{Combiner: core.CombinerPull},
+		{Combiner: core.CombinerSpin, Addressing: core.AddressDesolate},
+		{Combiner: core.CombinerSpin, Addressing: core.AddressHashmap},
+	} {
+		e, err := core.New(g, cfg, core.Program[uint32, uint32]{
+			Compute: func(*core.Context[uint32, uint32], core.Vertex[uint32, uint32]) {},
+			Combine: func(*uint32, uint32) {},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		got := IPregelBytes(IPregelParams{
+			Config: cfg, V: 500, E: 3000, Base: 1,
+			ValueBytes: 4, MessageBytes: 4,
+			InAdjacency: true, OutAdjacency: true,
+		})
+		want := e.FootprintBytes() + g.MemoryBytes()
+		if got != want {
+			t.Fatalf("%s/%s: model %d != engine+graph %d", cfg.Combiner, cfg.Addressing, got, want)
+		}
+	}
+}
+
+func TestIPregelModelVersionOrdering(t *testing.T) {
+	base := IPregelParams{V: 1 << 20, E: 1 << 23, Base: 1, ValueBytes: 8, MessageBytes: 8, OutAdjacency: true}
+	mutex, spin, pull := base, base, base
+	mutex.Config = core.Config{Combiner: core.CombinerMutex}
+	spin.Config = core.Config{Combiner: core.CombinerSpin}
+	pull.Config = core.Config{Combiner: core.CombinerPull}
+	pull.InAdjacency = true
+	bm, bs := IPregelBytes(mutex), IPregelBytes(spin)
+	if bs >= bm {
+		t.Fatalf("spinlock model (%d) should be lighter than mutex (%d)", bs, bm)
+	}
+	// §7.4.1: adding bypass to broadcast grows memory (out-neighbours on
+	// top of in-neighbours).
+	pullBypass := pull
+	pullBypass.Config.SelectionBypass = true
+	if IPregelBytes(pullBypass) <= IPregelBytes(pull) {
+		t.Fatal("broadcast+bypass should cost more than broadcast")
+	}
+}
+
+// §7.4.3's headline: full-scale Twitter PageRank — iPregel ≈11GB,
+// Pregel+ ≈109GB, Giraph ≈264GB. The models must land close to the
+// paper's reported numbers.
+func TestFullScaleProjectionsMatchPaper(t *testing.T) {
+	ip := IPregelBytes(IPregelParams{
+		Config:       core.Config{Combiner: core.CombinerPull},
+		V:            gen.TwitterV,
+		E:            gen.TwitterE,
+		Base:         1,
+		ValueBytes:   8,
+		MessageBytes: 8,
+		InAdjacency:  true,
+		OutAdjacency: false, // the paper's "in only" internals for pull PageRank
+	})
+	if ip < 9_000_000_000 || ip > 13_000_000_000 {
+		t.Fatalf("iPregel Twitter projection = %s, paper measured 11.01GB", GB(ip))
+	}
+	pp := PregelPlusBytes(PregelPlusParams{
+		V: gen.TwitterV, E: gen.TwitterE,
+		MessageBytes: 8, ValueBytes: 8, Workers: 32, Combiner: true,
+	})
+	if pp < 80_000_000_000 || pp > 140_000_000_000 {
+		t.Fatalf("Pregel+ Twitter projection = %s, paper reports 109GB", GB(pp))
+	}
+	gir := GiraphBytes(gen.TwitterV, gen.TwitterE)
+	if gir < 240_000_000_000 || gir > 290_000_000_000 {
+		t.Fatalf("Giraph Twitter projection = %s, paper reports 264GB", GB(gir))
+	}
+	// Order-of-magnitude claims: iPregel ≈10× lighter than Pregel+, ≈25×
+	// lighter than Giraph.
+	if r := float64(pp) / float64(ip); r < 6 || r > 14 {
+		t.Fatalf("Pregel+/iPregel ratio = %.1f, paper says 10", r)
+	}
+	if r := float64(gir) / float64(ip); r < 18 || r > 32 {
+		t.Fatalf("Giraph/iPregel ratio = %.1f, paper says 25", r)
+	}
+}
+
+// §7.4.3: the Friendster graph fits under 16 GB with the pull version.
+func TestFriendsterFitsSixteenGB(t *testing.T) {
+	ip := IPregelBytes(IPregelParams{
+		Config:       core.Config{Combiner: core.CombinerPull},
+		V:            gen.FriendsterV,
+		E:            gen.FriendsterE,
+		Base:         1,
+		ValueBytes:   8,
+		MessageBytes: 8,
+		InAdjacency:  true,
+	})
+	if !FitsBudget(ip, 16_000_000_000) {
+		t.Fatalf("Friendster projection %s does not fit 16GB (paper measured 14.45GB)", GB(ip))
+	}
+	if ip < 12_000_000_000 {
+		t.Fatalf("Friendster projection %s suspiciously small", GB(ip))
+	}
+}
+
+func TestPregelPlusModelBranches(t *testing.T) {
+	base := PregelPlusParams{V: 1 << 20, E: 1 << 24, MessageBytes: 8, ValueBytes: 8, Workers: 8}
+	withComb := base
+	withComb.Combiner = true
+	// Combining bounds inbox growth at V×Workers messages; on this dense
+	// graph that is below E, so the combined model must be smaller.
+	if PregelPlusBytes(withComb) >= PregelPlusBytes(base) {
+		t.Fatal("combiner should shrink the Pregel+ model on dense graphs")
+	}
+	// More workers add per-process environment overhead.
+	more := base
+	more.Workers = 32
+	if PregelPlusBytes(more) <= PregelPlusBytes(base) {
+		t.Fatal("workers should add environment overhead")
+	}
+}
+
+func TestCSRBytes(t *testing.T) {
+	if CSRBytes(10, 20) != 8*11+4*20 {
+		t.Fatal("CSRBytes formula")
+	}
+}
+
+func TestGBFormatting(t *testing.T) {
+	if GB(11_010_000_000) != "11.01GB" {
+		t.Fatalf("GB = %q", GB(11_010_000_000))
+	}
+}
+
+func TestFitsBudget(t *testing.T) {
+	if !FitsBudget(5, 5) || FitsBudget(6, 5) {
+		t.Fatal("FitsBudget")
+	}
+}

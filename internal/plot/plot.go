@@ -1,0 +1,167 @@
+// Package plot renders small ASCII charts for the benchmark harness, so
+// `ipregel-bench` output resembles the paper's figures directly in the
+// terminal: horizontal bars for the Fig. 7 version comparison and XY line
+// charts for the Fig. 8 node sweep and the Fig. 9 memory curve.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal bar chart. Values must be non-negative; bars
+// are scaled so the maximum value spans width characters.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxLabel := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * float64(width)))
+		}
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.4g\n", maxLabel, l, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series is one line of an XY chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the points (equal length).
+	X, Y []float64
+	// Marker is the character plotted for this series ('*' if zero).
+	Marker byte
+}
+
+// Lines renders series on a w×h character grid with simple axes. When
+// logY is set the Y axis is logarithmic (all Y values must be positive) —
+// the scale the paper's Fig. 8 SSSP panels use.
+func Lines(title string, series []Series, w, h int, logY bool) string {
+	if w <= 10 {
+		w = 60
+	}
+	if h <= 4 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n  (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yTop, yBot := maxY, minY
+	if logY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", yTop)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%9.3g ", yBot)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s%-.4g%s%.4g\n", strings.Repeat(" ", 11), minX, strings.Repeat(" ", maxInt(1, w-14)), maxX)
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "  %c = %s\n", marker, s.Name)
+	}
+	if logY {
+		fmt.Fprintln(&b, "  (log-scale Y axis)")
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

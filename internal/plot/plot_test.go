@@ -1,0 +1,147 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars("runtimes", []string{"mutex", "spinlock", "broadcast"}, []float64{100, 70, 35}, 20)
+	if !strings.Contains(out, "runtimes") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	// The longest bar belongs to the largest value.
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[1]) != 20 {
+		t.Fatalf("max bar = %d chars, want 20", count(lines[1]))
+	}
+	if !(count(lines[1]) > count(lines[2]) && count(lines[2]) > count(lines[3])) {
+		t.Fatalf("bars not ordered: %v", lines)
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	// Zero values draw no bar; tiny positive values draw at least one '#'.
+	out := Bars("", []string{"zero", "tiny", "big"}, []float64{0, 0.0001, 100}, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[0], "#") != 0 {
+		t.Fatal("zero value drew a bar")
+	}
+	if strings.Count(lines[1], "#") != 1 {
+		t.Fatal("tiny value should draw a single #")
+	}
+	// Labels longer than others stay aligned: the '|' column is constant.
+	out = Bars("", []string{"a", "longlabel"}, []float64{1, 2}, 10)
+	ls := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Index(ls[0], "|") != strings.Index(ls[1], "|") {
+		t.Fatalf("bars misaligned:\n%s", out)
+	}
+	// Missing values render as zero rather than panicking.
+	_ = Bars("", []string{"x", "y"}, []float64{1}, 10)
+	// Non-positive width falls back to a default.
+	if !strings.Contains(Bars("", []string{"x"}, []float64{1}, -1), "#") {
+		t.Fatal("default width broken")
+	}
+}
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "pregel+", X: []float64{1, 2, 4, 8, 16}, Y: []float64{200, 110, 60, 35, 20}, Marker: 'o'},
+		{Name: "ipregel", X: []float64{1, 16}, Y: []float64{30, 30}, Marker: '-'},
+	}
+	out := Lines("fig8", s, 40, 10, false)
+	if !strings.Contains(out, "fig8") || !strings.Contains(out, "o = pregel+") || !strings.Contains(out, "- = ipregel") {
+		t.Fatalf("chart missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no markers plotted")
+	}
+	// Axis extremes appear.
+	if !strings.Contains(out, "200") || !strings.Contains(out, "16") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLinesLogY(t *testing.T) {
+	s := []Series{{Name: "sssp", X: []float64{1, 2, 4}, Y: []float64{1, 100, 10000}}}
+	out := Lines("log", s, 30, 9, true)
+	if !strings.Contains(out, "log-scale") {
+		t.Fatal("log marker missing")
+	}
+	// On a log axis the three decade-spaced points are evenly spread
+	// vertically: top row and bottom row both carry a marker.
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for i, l := range lines {
+		if strings.Contains(l, "*") && strings.Contains(l, "|") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 marker rows, got %d:\n%s", len(rows), out)
+	}
+	if (rows[1]-rows[0])-(rows[2]-rows[1]) > 1 || (rows[2]-rows[1])-(rows[1]-rows[0]) > 1 {
+		t.Fatalf("log spacing uneven: %v", rows)
+	}
+	// Non-positive Y values are skipped, not fatal.
+	_ = Lines("", []Series{{Name: "bad", X: []float64{1}, Y: []float64{-5}}}, 20, 6, true)
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("empty", nil, 20, 6, false)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestLinesSinglePoint(t *testing.T) {
+	out := Lines("", []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, 20, 6, false)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+// Property: every rendered grid row has the same width and the marker
+// count never exceeds the point count.
+func TestLinesGridProperty(t *testing.T) {
+	f := func(xs []float64, seed uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		if len(xs) > 30 {
+			xs = xs[:30]
+		}
+		for _, x := range xs {
+			// reject NaN/Inf inputs: charts are for measured data
+			if x != x || x > 1e300 || x < -1e300 {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = float64(i + int(seed))
+		}
+		out := Lines("p", []Series{{Name: "s", X: xs, Y: ys}}, 40, 8, false)
+		lines := strings.Split(out, "\n")
+		gridWidth := -1
+		for _, l := range lines {
+			if i := strings.Index(l, "|"); i >= 0 {
+				if gridWidth == -1 {
+					gridWidth = len(l)
+				}
+				if len(l) > 11+40+1 {
+					return false
+				}
+			}
+		}
+		return strings.Count(out, "*") <= len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package pregelplus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ipregel/internal/graph"
+)
+
+// Cluster is a simulated Pregel+ deployment: cfg.Nodes machines ×
+// cfg.ProcsPerNode worker processes, each owning a hash partition of the
+// graph. Workers really execute their compute, serialisation and delivery
+// work (sequentially, individually timed); the simulated clock charges
+// max-over-workers per phase — i.e. perfect overlap across machines — plus
+// the modelled network transfer, which is the paper's idealised view of a
+// BSP superstep.
+type Cluster[V, M any] struct {
+	cfg     ClusterConfig
+	codec   Codec[M]
+	prog    Program[V, M]
+	combine func(old *M, new M)
+
+	g             *graph.Graph
+	workers       []*worker[V, M]
+	workerCount   int
+	procsPerNode  int
+	nodeCount     int
+	totalVertices int
+
+	superstep int
+	report    Report
+	ran       bool
+
+	// aggregator registry (aggregator.go)
+	aggNames   map[string]int
+	aggOps     []AggOp
+	aggCurrent []float64
+}
+
+// NewCluster partitions g across the configured workers.
+func NewCluster[V, M any](g *graph.Graph, cfg ClusterConfig, prog Program[V, M], codec Codec[M]) (*Cluster[V, M], error) {
+	if prog.Compute == nil {
+		return nil, errors.New("pregelplus: Program.Compute is required")
+	}
+	cl := &Cluster[V, M]{
+		cfg:           cfg,
+		codec:         codec,
+		prog:          prog,
+		g:             g,
+		workerCount:   cfg.workers(),
+		nodeCount:     cfg.nodes(),
+		totalVertices: g.N(),
+	}
+	cl.procsPerNode = cl.workerCount / cl.nodeCount
+	if !cfg.DisableCombiner {
+		cl.combine = prog.Combine
+	}
+	cl.workers = make([]*worker[V, M], cl.workerCount)
+	for i := range cl.workers {
+		cl.workers[i] = newWorker(cl, i)
+	}
+	base := g.Base()
+	for i := 0; i < g.N(); i++ {
+		id := g.ExternalID(i)
+		adj := g.OutNeighbors(i)
+		out := make([]graph.VertexID, len(adj))
+		for j, nb := range adj {
+			out[j] = base + nb
+		}
+		v := &Vertex[V, M]{ID: id, active: true, outEdges: out}
+		owner := cl.workers[cl.ownerOf(id)]
+		owner.addVertex(v)
+		if cfg.MirrorThreshold > 0 && len(out) >= cfg.MirrorThreshold {
+			cl.mirror(v)
+		}
+	}
+	return cl, nil
+}
+
+// mirror replicates v's adjacency across the workers owning its
+// neighbours: broadcasts then travel once per worker and fan out locally
+// (Pregel+'s message-reduction technique).
+func (cl *Cluster[V, M]) mirror(v *Vertex[V, M]) {
+	perWorker := make(map[int][]graph.VertexID)
+	for _, nb := range v.outEdges {
+		dw := cl.ownerOf(nb)
+		perWorker[dw] = append(perWorker[dw], nb)
+	}
+	v.mirrorTargets = make([]int32, 0, len(perWorker))
+	for dw, local := range perWorker {
+		v.mirrorTargets = append(v.mirrorTargets, int32(dw))
+		w := cl.workers[dw]
+		if w.mirrorAdj == nil {
+			w.mirrorAdj = make(map[graph.VertexID][]graph.VertexID)
+		}
+		w.mirrorAdj[v.ID] = local
+	}
+}
+
+// ownerOf assigns an identifier to a worker according to the configured
+// partitioning.
+func (cl *Cluster[V, M]) ownerOf(id graph.VertexID) int {
+	if cl.cfg.Partition == PartitionBlock && cl.totalVertices > 0 {
+		i := uint64(id - cl.g.Base())
+		w := int(i * uint64(cl.workerCount) / uint64(cl.totalVertices))
+		if w >= cl.workerCount {
+			w = cl.workerCount - 1
+		}
+		return w
+	}
+	return int(id) % cl.workerCount
+}
+
+// ErrMaxSupersteps mirrors core.ErrMaxSupersteps for the baseline.
+var ErrMaxSupersteps = errors.New("pregelplus: superstep limit exceeded")
+
+// Run executes supersteps to quiescence and returns the report. A
+// Cluster can run only once.
+func (cl *Cluster[V, M]) Run() (Report, error) {
+	if cl.ran {
+		return Report{}, errors.New("pregelplus: cluster already ran")
+	}
+	cl.ran = true
+	net := cl.cfg.Net.orDefault()
+
+	outBytes := make([]uint64, cl.nodeCount)
+	inBytes := make([]uint64, cl.nodeCount)
+	incoming := make([][][]byte, cl.workerCount)
+	incomingMirror := make([][][]byte, cl.workerCount)
+
+	for {
+		if cl.cfg.MaxSupersteps > 0 && cl.superstep >= cl.cfg.MaxSupersteps {
+			return cl.report, fmt.Errorf("%w (%d)", ErrMaxSupersteps, cl.cfg.MaxSupersteps)
+		}
+		first := cl.superstep == 0
+		wireBefore := cl.report.WireBytes
+		for _, w := range cl.workers {
+			w.resetSendBuffers()
+		}
+
+		// Compute phase: real work, individually timed; the cluster-wide
+		// cost is the slowest worker (BSP barrier).
+		var maxCompute time.Duration
+		for _, w := range cl.workers {
+			if d := w.computePhase(first); d > maxCompute {
+				maxCompute = d
+			}
+		}
+
+		// Exchange phase: route wire buffers, tallying inter-node traffic.
+		clear(outBytes)
+		clear(inBytes)
+		for i := range incoming {
+			incoming[i] = incoming[i][:0]
+			incomingMirror[i] = incomingMirror[i][:0]
+		}
+		charge := func(src *worker[V, M], dw int, buf []byte) {
+			srcNode, dstNode := src.node, dw/cl.procsPerNode
+			if srcNode != dstNode {
+				outBytes[srcNode] += uint64(len(buf))
+				inBytes[dstNode] += uint64(len(buf))
+				cl.report.WireBytes += uint64(len(buf))
+			}
+		}
+		for _, src := range cl.workers {
+			for dw, buf := range src.rawOut {
+				if len(buf) == 0 {
+					continue
+				}
+				incoming[dw] = append(incoming[dw], buf)
+				charge(src, dw, buf)
+			}
+			for dw, buf := range src.mirrorOut {
+				if len(buf) == 0 {
+					continue
+				}
+				incomingMirror[dw] = append(incomingMirror[dw], buf)
+				charge(src, dw, buf)
+			}
+		}
+		netDur := net.TransferTime(cl.nodeCount, outBytes, inBytes)
+
+		// Delivery phase: decode and enqueue through the hash maps.
+		var maxDeliver time.Duration
+		var delivered uint64
+		for _, w := range cl.workers {
+			d, n := w.deliverPhase(incoming[w.id])
+			dm, nm := w.deliverMirrors(incomingMirror[w.id])
+			d += dm
+			n += nm
+			if d > maxDeliver {
+				maxDeliver = d
+			}
+			delivered += n
+		}
+
+		cl.report.ComputeTime += maxCompute + maxDeliver
+		cl.report.NetTime += netDur
+		if len(cl.aggOps) > 0 {
+			cl.mergeAggregators()
+		}
+
+		var ranT, votesT int64
+		var sent uint64
+		for _, w := range cl.workers {
+			ranT += w.ran
+			votesT += w.votes
+			sent += w.msgsSent
+		}
+		// The analytic footprint scan walks every vertex, so it is sampled
+		// rather than taken at every barrier: densely at the start (queues
+		// and buffers peak within the first supersteps) and sparsely after.
+		if cl.superstep < 8 || cl.superstep%32 == 0 {
+			var mem uint64
+			for _, w := range cl.workers {
+				mem += w.memoryBytes()
+			}
+			if mem > cl.report.PeakMemoryBytes {
+				cl.report.PeakMemoryBytes = mem
+			}
+		}
+		cl.report.Messages += sent
+		activeAfter := ranT - votesT
+		cl.report.Steps = append(cl.report.Steps, StepStats{
+			Compute:   maxCompute + maxDeliver,
+			Net:       netDur,
+			WireBytes: cl.report.WireBytes - wireBefore,
+			Messages:  sent,
+			Active:    activeAfter,
+		})
+
+		cl.superstep++
+		if activeAfter == 0 && delivered == 0 {
+			break
+		}
+	}
+	cl.report.Supersteps = cl.superstep
+	cl.report.SimTime = cl.report.ComputeTime + cl.report.NetTime
+	cl.report.Converged = true
+	return cl.report, nil
+}
+
+// Value returns the final value of the vertex with identifier id.
+func (cl *Cluster[V, M]) Value(id graph.VertexID) V {
+	return cl.workers[cl.ownerOf(id)].verts[id].Value
+}
+
+// ValuesDense copies values out in internal-index order, matching
+// core.Engine.ValuesDense for cross-framework comparison.
+func (cl *Cluster[V, M]) ValuesDense() []V {
+	out := make([]V, cl.g.N())
+	for i := range out {
+		id := cl.g.ExternalID(i)
+		out[i] = cl.workers[cl.ownerOf(id)].verts[id].Value
+	}
+	return out
+}
+
+// MemoryBytes returns the current analytic framework footprint across
+// all workers.
+func (cl *Cluster[V, M]) MemoryBytes() uint64 {
+	var total uint64
+	for _, w := range cl.workers {
+		total += w.memoryBytes()
+	}
+	return total
+}

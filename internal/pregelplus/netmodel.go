@@ -1,0 +1,60 @@
+package pregelplus
+
+import "time"
+
+// NetModel charges simulated time for the network phase of each
+// superstep. The defaults are calibrated to the paper's EC2 m4.large
+// instances: "a maximum bandwidth of 450 Mbps" (§7.1.1) and a
+// low-millisecond MPI barrier/round-trip per superstep, the term that
+// dominates Pregel+ on high-diameter graphs (SSSP on USA roads needs
+// thousands of supersteps, each paying the synchronisation — the reason
+// the paper estimates a 15,000-node lead change, §7.3).
+type NetModel struct {
+	// BandwidthBytesPerSec is each node's full-duplex link capacity.
+	BandwidthBytesPerSec float64
+	// LatencyPerSuperstep is the fixed synchronisation cost every
+	// superstep pays once: barrier plus message round-trip setup.
+	LatencyPerSuperstep time.Duration
+}
+
+// DefaultNet returns the m4.large calibration.
+func DefaultNet() NetModel {
+	return NetModel{
+		BandwidthBytesPerSec: 450e6 / 8, // 450 Mbit/s
+		LatencyPerSuperstep:  1500 * time.Microsecond,
+	}
+}
+
+func (n NetModel) orDefault() NetModel {
+	if n.BandwidthBytesPerSec <= 0 {
+		d := DefaultNet()
+		if n.LatencyPerSuperstep == 0 {
+			return d
+		}
+		d.LatencyPerSuperstep = n.LatencyPerSuperstep
+		return d
+	}
+	return n
+}
+
+// TransferTime models one superstep's exchange: every node sends and
+// receives concurrently on its own link, so the transfer completes when
+// the most loaded link drains; the barrier latency is added once. With a
+// single node there is no network and no MPI synchronisation beyond
+// process-local exchange, which the compute measurement already covers.
+func (n NetModel) TransferTime(nodes int, outBytesPerNode, inBytesPerNode []uint64) time.Duration {
+	if nodes <= 1 {
+		return 0
+	}
+	var worst uint64
+	for i := 0; i < nodes; i++ {
+		if outBytesPerNode[i] > worst {
+			worst = outBytesPerNode[i]
+		}
+		if inBytesPerNode[i] > worst {
+			worst = inBytesPerNode[i]
+		}
+	}
+	transfer := time.Duration(float64(worst) / n.BandwidthBytesPerSec * float64(time.Second))
+	return transfer + n.LatencyPerSuperstep
+}

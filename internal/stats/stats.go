@@ -1,0 +1,240 @@
+// Package stats implements the paper's measurement methodology (§7.1.2):
+// "experiments are initially run 5 times, and are repeated until the
+// margin of error obtained represents less than 1% of the average
+// runtime, given a confidence level of 99%", plus the small numeric
+// helpers the benchmark harness needs (series summaries, least-squares
+// fits for the Fig. 9 projection, and the Fig. 8 constant-efficiency
+// extrapolation arithmetic).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// z99 is the two-sided 99% standard-normal quantile.
+const z99 = 2.5758293035489004
+
+// Running accumulates a sample mean and variance with Welford's
+// algorithm. The zero value is an empty accumulator.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Variance()) }
+
+// MarginOfError99 returns the half-width of the 99% confidence interval
+// of the mean.
+func (r *Running) MarginOfError99() float64 {
+	if r.n < 2 {
+		return math.Inf(1)
+	}
+	return z99 * r.Stddev() / math.Sqrt(float64(r.n))
+}
+
+// RelativeMargin99 returns the 99% margin as a fraction of the mean
+// (+Inf when the mean is 0 or samples are insufficient).
+func (r *Running) RelativeMargin99() float64 {
+	if r.mean == 0 {
+		return math.Inf(1)
+	}
+	return r.MarginOfError99() / math.Abs(r.mean)
+}
+
+// Measurement is the outcome of a RunUntilStable campaign.
+type Measurement struct {
+	Mean     time.Duration
+	Margin   time.Duration
+	Relative float64
+	Reps     int
+	// Stable is false when MaxReps was exhausted before the target
+	// relative margin was reached.
+	Stable bool
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("%v ±%v (%.2f%%, n=%d)", m.Mean.Round(time.Microsecond), m.Margin.Round(time.Microsecond), m.Relative*100, m.Reps)
+}
+
+// Protocol configures RunUntilStable. The zero value uses the paper's
+// parameters with a practical repetition cap.
+type Protocol struct {
+	// MinReps is the initial number of runs (paper: 5).
+	MinReps int
+	// MaxReps caps the campaign (the paper repeats indefinitely; a cap
+	// keeps the harness bounded). Default 50.
+	MaxReps int
+	// TargetRelMargin is the stopping threshold (paper: 0.01).
+	TargetRelMargin float64
+}
+
+func (p Protocol) withDefaults() Protocol {
+	if p.MinReps <= 0 {
+		p.MinReps = 5
+	}
+	if p.MaxReps <= 0 {
+		p.MaxReps = 50
+	}
+	if p.MaxReps < p.MinReps {
+		p.MaxReps = p.MinReps
+	}
+	if p.TargetRelMargin <= 0 {
+		p.TargetRelMargin = 0.01
+	}
+	return p
+}
+
+// RunUntilStable measures run() repeatedly under the paper's protocol and
+// returns the mean with its 99% confidence margin.
+func RunUntilStable(p Protocol, run func() time.Duration) Measurement {
+	p = p.withDefaults()
+	var r Running
+	for i := 0; i < p.MinReps; i++ {
+		r.Add(float64(run()))
+	}
+	for r.RelativeMargin99() > p.TargetRelMargin && r.N() < p.MaxReps {
+		r.Add(float64(run()))
+	}
+	return Measurement{
+		Mean:     time.Duration(r.Mean()),
+		Margin:   time.Duration(r.MarginOfError99()),
+		Relative: r.RelativeMargin99(),
+		Reps:     r.N(),
+		Stable:   r.RelativeMargin99() <= p.TargetRelMargin,
+	}
+}
+
+// Median returns the median of xs (0 when empty).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// LinearFit returns the least-squares line y = a + b*x through the
+// points, used for the Fig. 9 memory projection ("linear extrapolation").
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, errors.New("stats: LinearFit needs at least 2 points")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, errors.New("stats: LinearFit degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// ExtrapolateDoubling extends a runtime series beyond its last measured
+// point using the paper's rule (§7.3 footnote 8): "assuming the
+// efficiency between 8 and 16 nodes to stay constant every time the
+// number of nodes is doubled". Given runtimes at node counts n and 2n,
+// each further doubling multiplies the runtime by the same observed
+// ratio. It returns the projected runtime after `doublings` more
+// doublings of the node count.
+func ExtrapolateDoubling(timeAtN, timeAt2N float64, doublings int) float64 {
+	if timeAtN <= 0 {
+		return 0
+	}
+	ratio := timeAt2N / timeAtN
+	out := timeAt2N
+	for i := 0; i < doublings; i++ {
+		out *= ratio
+	}
+	return out
+}
+
+// LeadChange finds the smallest node count at which the Pregel+ runtime
+// drops to or below the single-node iPregel reference — the paper's
+// "lead change" (§7.3). nodeCounts must be ascending; the series is
+// extended by constant-efficiency doubling beyond the last measurement
+// (up to maxNodes) when the crossover is not observed. It returns the
+// node count and whether it was extrapolated; ok is false when even
+// maxNodes is not enough.
+func LeadChange(nodeCounts []int, runtimes []float64, reference float64, maxNodes int) (nodes int, extrapolated, ok bool) {
+	for i, n := range nodeCounts {
+		if runtimes[i] <= reference {
+			return n, false, true
+		}
+	}
+	k := len(nodeCounts)
+	if k < 2 {
+		return 0, false, false
+	}
+	lastN := nodeCounts[k-1]
+	prev, last := runtimes[k-2], runtimes[k-1]
+	if prev <= 0 || last >= prev {
+		// No improvement from adding nodes: the crossover will never come.
+		return 0, true, false
+	}
+	ratio := last / prev
+	t := last
+	for n := lastN * 2; n <= maxNodes; n *= 2 {
+		t *= ratio
+		if t <= reference {
+			// Refine within the doubling interval assuming the same
+			// per-doubling ratio applies log-linearly.
+			lo, hi := n/2, n
+			tLo := t / ratio
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				frac := math.Log2(float64(mid) / float64(n/2))
+				tMid := tLo * math.Pow(ratio, frac)
+				if tMid <= reference {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return hi, true, true
+		}
+	}
+	return 0, true, false
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunningAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		r.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(r.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v vs %v", r.Mean(), mean)
+	}
+	if math.Abs(r.Variance()-variance) > 1e-9 {
+		t.Fatalf("variance %v vs %v", r.Variance(), variance)
+	}
+	if r.N() != 100 {
+		t.Fatal("N")
+	}
+}
+
+func TestRunningEdgeCases(t *testing.T) {
+	var r Running
+	if r.Variance() != 0 || r.Stddev() != 0 {
+		t.Fatal("empty variance")
+	}
+	if !math.IsInf(r.MarginOfError99(), 1) || !math.IsInf(r.RelativeMargin99(), 1) {
+		t.Fatal("empty margins should be +Inf")
+	}
+	r.Add(5)
+	if r.Mean() != 5 || r.Variance() != 0 {
+		t.Fatal("single sample")
+	}
+}
+
+func TestMarginShrinksWithSamples(t *testing.T) {
+	var r Running
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		r.Add(100 + rng.Float64())
+	}
+	m10 := r.MarginOfError99()
+	for i := 0; i < 990; i++ {
+		r.Add(100 + rng.Float64())
+	}
+	if r.MarginOfError99() >= m10 {
+		t.Fatal("margin did not shrink with more samples")
+	}
+}
+
+func TestRunUntilStableConstant(t *testing.T) {
+	calls := 0
+	m := RunUntilStable(Protocol{}, func() time.Duration {
+		calls++
+		return 10 * time.Millisecond
+	})
+	if calls != 5 {
+		t.Fatalf("constant series should stop at MinReps=5, ran %d", calls)
+	}
+	if !m.Stable || m.Mean != 10*time.Millisecond {
+		t.Fatalf("measurement %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunUntilStableNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := RunUntilStable(Protocol{MaxReps: 5000}, func() time.Duration {
+		return time.Duration(1e6 + rng.Intn(200000)) // ~20% spread
+	})
+	if !m.Stable {
+		t.Fatalf("did not stabilise: %+v", m)
+	}
+	if m.Relative > 0.01 {
+		t.Fatalf("relative margin %.4f > 1%%", m.Relative)
+	}
+	if m.Reps <= 5 {
+		t.Fatal("noisy series should need more than MinReps")
+	}
+}
+
+func TestRunUntilStableCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := RunUntilStable(Protocol{MinReps: 3, MaxReps: 6}, func() time.Duration {
+		return time.Duration(rng.Intn(1_000_000_000)) // hopeless noise
+	})
+	if m.Reps != 6 {
+		t.Fatalf("reps = %d, want cap 6", m.Reps)
+	}
+	if m.Stable {
+		t.Fatal("hopeless noise reported stable")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// input must not be mutated
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	a, b, err := LinearFit([]float64{0, 1, 2, 3}, []float64{5, 7, 9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-5) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit a=%v b=%v", a, b)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+// Property: LinearFit recovers arbitrary lines exactly from noise-free
+// points.
+func TestLinearFitProperty(t *testing.T) {
+	f := func(a8, b8 int8, seed int64) bool {
+		a, b := float64(a8), float64(b8)/4
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 5)
+		ys := make([]float64, 5)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()
+			ys[i] = a + b*xs[i]
+		}
+		ga, gb, err := LinearFit(xs, ys)
+		return err == nil && math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtrapolateDoubling(t *testing.T) {
+	// ratio 0.5 per doubling: 8, 4 -> one more doubling -> 2
+	if got := ExtrapolateDoubling(8, 4, 1); got != 2 {
+		t.Fatalf("got %v, want 2", got)
+	}
+	if got := ExtrapolateDoubling(8, 4, 0); got != 4 {
+		t.Fatalf("got %v, want 4", got)
+	}
+	if got := ExtrapolateDoubling(0, 4, 3); got != 0 {
+		t.Fatal("zero base should return 0")
+	}
+}
+
+func TestLeadChangeObserved(t *testing.T) {
+	nodes := []int{1, 2, 4, 8, 16}
+	times := []float64{200, 110, 60, 35, 20}
+	n, extrap, ok := LeadChange(nodes, times, 30, 1<<20)
+	if !ok || extrap || n != 16 {
+		t.Fatalf("lead change = %d extrap=%v ok=%v, want 16 observed", n, extrap, ok)
+	}
+}
+
+func TestLeadChangeExtrapolated(t *testing.T) {
+	nodes := []int{1, 2, 4, 8, 16}
+	times := []float64{200, 110, 60, 35, 20}
+	// Reference of 5 s is below all measurements: extrapolate.
+	n, extrap, ok := LeadChange(nodes, times, 5, 1<<20)
+	if !ok || !extrap {
+		t.Fatalf("extrapolated lead change failed: %d %v %v", n, extrap, ok)
+	}
+	// ratio = 20/35 per doubling; need 20*r^k <= 5 -> k ≈ 2.48 -> within
+	// (64, 128] after refinement.
+	if n <= 16 || n > 128 {
+		t.Fatalf("lead change at %d nodes, want in (16, 128]", n)
+	}
+}
+
+func TestLeadChangeNever(t *testing.T) {
+	nodes := []int{1, 2, 4}
+	times := []float64{100, 90, 95} // scaling stalled
+	if _, _, ok := LeadChange(nodes, times, 1, 1<<20); ok {
+		t.Fatal("stalled scaling should never cross")
+	}
+	if _, _, ok := LeadChange([]int{1}, []float64{50}, 1, 1024); ok {
+		t.Fatal("single point cannot extrapolate")
+	}
+	// Reachable only beyond maxNodes.
+	nodes = []int{1, 2}
+	times = []float64{100, 99}
+	if _, _, ok := LeadChange(nodes, times, 1, 64); ok {
+		t.Fatal("crossover beyond maxNodes should report !ok")
+	}
+}
+
+func TestLeadChangeMonotoneRefinement(t *testing.T) {
+	// The refined crossover should be the smallest integer n with
+	// projected runtime <= reference under the log-linear model.
+	nodes := []int{8, 16}
+	times := []float64{40, 20} // ratio 0.5/doubling => t(n) = 20*(16/n)^-1... t(32)=10, t(64)=5
+	n, extrap, ok := LeadChange(nodes, times, 10, 1<<20)
+	if !ok || !extrap || n != 32 {
+		t.Fatalf("lead change = %d, want 32", n)
+	}
+	n, _, _ = LeadChange(nodes, times, 7, 1<<20)
+	if n <= 32 || n > 64 {
+		t.Fatalf("lead change = %d, want in (32, 64]", n)
+	}
+}
