@@ -1,0 +1,22 @@
+GO ?= go
+
+# `make check` is the standard verification entry point (see README.md):
+# vet + build + full test suite + a race-detector pass over the engine,
+# whose combiners, sender caches and schedules must stay race-clean.
+.PHONY: check vet build test race bench
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -199,10 +199,11 @@ func BenchmarkAddressing(b *testing.B) {
 }
 
 // BenchmarkSchedule compares the paper's static equal shares with dynamic
-// chunking (§8's load-balancing future work) on SSSP's skewed frontiers.
+// chunking (§8's load-balancing future work) and the edge-balanced split
+// from the CSR degree prefix sums on SSSP's skewed frontiers.
 func BenchmarkSchedule(b *testing.B) {
 	wiki, _ := benchGraphs()
-	for _, sched := range []core.Schedule{core.ScheduleStatic, core.ScheduleDynamic} {
+	for _, sched := range []core.Schedule{core.ScheduleStatic, core.ScheduleDynamic, core.ScheduleEdgeBalanced} {
 		cfg := core.Config{Combiner: core.CombinerSpin, Schedule: sched}
 		b.Run(sched.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -216,19 +217,25 @@ func BenchmarkSchedule(b *testing.B) {
 
 // BenchmarkContention stresses the push combiners where they differ most:
 // a transposed star sends every leaf's message to one hub mailbox, so the
-// whole superstep serialises on a single lock (§6.1's
-// busy-wait-vs-block-wait trade-off).
+// whole superstep serialises on that mailbox's synchronisation — the
+// mutex blocks, the spinlock busy-waits, and the atomic combiner retries
+// a CAS (the hot-slot case where lock-free delivery should win). The
+// +combining variants add the sender-side caches, which pre-combine the
+// leaves' messages worker-locally and touch the hub mailbox only
+// once per worker per superstep.
 func BenchmarkContention(b *testing.B) {
 	g := gen.Star(1<<14, 1).Transpose() // leaves -> hub
-	for _, comb := range []core.Combiner{core.CombinerMutex, core.CombinerSpin} {
-		cfg := core.Config{Combiner: comb}
-		b.Run(comb.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, _, err := algorithms.Hashmin(g, cfg); err != nil {
-					b.Fatal(err)
+	for _, comb := range []core.Combiner{core.CombinerMutex, core.CombinerSpin, core.CombinerAtomic} {
+		for _, combining := range []bool{false, true} {
+			cfg := core.Config{Combiner: comb, SenderCombining: combining}
+			b.Run(cfg.VersionName(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := algorithms.Hashmin(g, cfg); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -282,7 +289,7 @@ func BenchmarkWorkerPool(b *testing.B) {
 func BenchmarkMailboxDeliver(b *testing.B) {
 	g := gen.Ring(1<<16, 0).WithInEdges()
 	prog := algorithms.SSSPProgram(0)
-	for _, comb := range []core.Combiner{core.CombinerMutex, core.CombinerSpin, core.CombinerPull} {
+	for _, comb := range []core.Combiner{core.CombinerMutex, core.CombinerSpin, core.CombinerAtomic, core.CombinerPull} {
 		cfg := core.Config{Combiner: comb}
 		b.Run(comb.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

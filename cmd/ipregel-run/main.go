@@ -47,8 +47,10 @@ func run(args []string, out io.Writer) error {
 		graphFile = fs.String("graph-file", "", "load a graph file instead of generating")
 		divisor   = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
 		framework = fs.String("framework", "ipregel", "ipregel | pregelplus | femtograph (see DESIGN.md)")
-		combiner  = fs.String("combiner", "spinlock", "iPregel combiner: mutex | spinlock | broadcast")
+		combiner  = fs.String("combiner", "spinlock", "iPregel combiner: mutex | spinlock | atomic | broadcast")
 		address   = fs.String("addressing", "offset", "iPregel addressing: direct | offset | desolate | hashmap")
+		schedule  = fs.String("schedule", "static", "iPregel compute-phase schedule: static | dynamic | edge-balanced")
+		combining = fs.Bool("sender-combining", false, "pre-combine repeated sends worker-locally before touching the shared mailbox (push combiners)")
 		bypass    = fs.Bool("bypass", false, "enable selection bypass (Hashmin/SSSP only)")
 		threads   = fs.Int("threads", 0, "worker threads (default GOMAXPROCS)")
 		rounds    = fs.Int("rounds", 30, "PageRank iterations")
@@ -84,7 +86,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Combiner: comb, Addressing: addr, SelectionBypass: *bypass, Threads: *threads}
+	sched, err := core.ParseSchedule(*schedule)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Combiner:        comb,
+		Addressing:      addr,
+		Schedule:        sched,
+		SenderCombining: *combining,
+		SelectionBypass: *bypass,
+		Threads:         *threads,
+	}
 
 	var rep core.Report
 	peak, baseline := memmodel.MeasurePeakHeap(func() {
@@ -160,6 +173,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, rep)
+	if cfg.SenderCombining && rep.TotalMessages > 0 {
+		fmt.Fprintf(out, "sender-side combining: %d of %d sends combined worker-locally (%.0f%%)\n",
+			rep.TotalLocalCombines, rep.TotalMessages, 100*float64(rep.TotalLocalCombines)/float64(rep.TotalMessages))
+	}
 	fmt.Fprintf(out, "peak heap: %s (baseline %s)\n", memmodel.GB(peak), memmodel.GB(baseline))
 	if *verbose {
 		fmt.Fprint(out, rep.Table())

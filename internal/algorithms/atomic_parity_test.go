@@ -1,0 +1,104 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+	"ipregel/internal/graph"
+)
+
+// Cross-engine parity for the lock-free CAS combiner and sender-side
+// combining: PageRank, SSSP and WCC must produce the same results under
+// CombinerAtomic (with and without the combining caches, across
+// schedules) as under the seed's mutex combiner.
+
+func atomicParityConfigs() []core.Config {
+	return []core.Config{
+		{Combiner: core.CombinerAtomic, Threads: 4},
+		{Combiner: core.CombinerAtomic, Threads: 4, SenderCombining: true},
+		{Combiner: core.CombinerAtomic, Threads: 3, SenderCombining: true, Schedule: core.ScheduleEdgeBalanced},
+		{Combiner: core.CombinerSpin, Threads: 4, SenderCombining: true},
+		{Combiner: core.CombinerMutex, Threads: 4, SenderCombining: true, Schedule: core.ScheduleEdgeBalanced},
+	}
+}
+
+func parityGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat": gen.RMATN(400, 2600, 11, 1, true), // power-law: hot hubs
+		"road": gen.Road(gen.RoadParams{Rows: 12, Cols: 14, Seed: 5, Base: 1, BuildInEdges: true}),
+	}
+}
+
+func TestAtomicCombinerPageRankParity(t *testing.T) {
+	for gname, g := range parityGraphs() {
+		want, _, err := PageRank(g, core.Config{Combiner: core.CombinerMutex, Threads: 4}, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range atomicParityConfigs() {
+			got, _, err := PageRank(g, cfg, 15)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cfg.VersionName(), err)
+			}
+			for i := range want {
+				// rank sums are float64: delivery order differs between
+				// combiners, so compare within rounding slack rather than
+				// bit-for-bit
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("%s/%s: rank[%d] = %v, want %v", gname, cfg.VersionName(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAtomicCombinerSSSPParity(t *testing.T) {
+	for gname, g := range parityGraphs() {
+		want, _, err := SSSP(g, core.Config{Combiner: core.CombinerMutex, Threads: 4}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range atomicParityConfigs() {
+			for _, bypass := range []bool{false, true} {
+				cfg := cfg
+				cfg.SelectionBypass = bypass
+				cfg.CheckBypass = bypass
+				got, _, err := SSSP(g, cfg, 2)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, cfg.VersionName(), err)
+				}
+				for i := range want {
+					if got[i] != want[i] { // min combine: exact
+						t.Fatalf("%s/%s: dist[%d] = %d, want %d", gname, cfg.VersionName(), i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAtomicCombinerWCCParity(t *testing.T) {
+	for gname, g := range parityGraphs() {
+		want, _, err := WCC(g, core.Config{Combiner: core.CombinerMutex, Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := RefWCC(g.Symmetrize(false))
+		for _, cfg := range atomicParityConfigs() {
+			got, _, err := WCC(g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cfg.VersionName(), err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: label[%d] = %d, want %d", gname, cfg.VersionName(), i, got[i], want[i])
+				}
+				if got[i] != oracle[i] {
+					t.Fatalf("%s/%s: label[%d] = %d, union-find oracle %d", gname, cfg.VersionName(), i, got[i], oracle[i])
+				}
+			}
+		}
+	}
+}

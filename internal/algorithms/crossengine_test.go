@@ -173,6 +173,28 @@ func TestCrossEngineEquivalenceProperty(t *testing.T) {
 			}
 		}
 
+		// The post-paper engine additions: the lock-free CAS combiner,
+		// sender-side combining caches and edge-balanced scheduling, in
+		// combination.
+		for vi, cfg := range []core.Config{
+			{Combiner: core.CombinerAtomic},
+			{Combiner: core.CombinerAtomic, SenderCombining: true, Schedule: core.ScheduleEdgeBalanced},
+			{Combiner: core.CombinerAtomic, SelectionBypass: true, SenderCombining: true},
+			{Combiner: core.CombinerSpin, SenderCombining: true, Schedule: core.ScheduleDynamic},
+			{Combiner: core.CombinerMutex, SenderCombining: true, SelectionBypass: true},
+		} {
+			cfg.Threads = 2 + vi%3
+			cfg.CheckBypass = cfg.SelectionBypass
+			e, _, err := core.Run(g, cfg, potentialProgram(seed))
+			if err != nil {
+				t.Logf("%s: %v", cfg.VersionName(), err)
+				return false
+			}
+			if !check(e.ValuesDense(), "ipregel/"+cfg.VersionName()) {
+				return false
+			}
+		}
+
 		// Pregel+ at two deployment sizes, with and without combiner.
 		for _, cc := range []pregelplus.ClusterConfig{
 			{Nodes: 1, ProcsPerNode: 2},

@@ -26,6 +26,11 @@ func init() {
 		Run:   runAblationCombiner,
 	})
 	register(Experiment{
+		ID:    "ablation-combiner-schedule",
+		Title: "ablation: four combiners × three schedules on a power-law graph, plus sender-side combining",
+		Run:   runAblationCombinerSchedule,
+	})
+	register(Experiment{
 		ID:    "ablation-balance",
 		Title: "ablation (§4): load balance of the selection phase — equal shares with and without the bypass",
 		Run:   runAblationBalance,
@@ -152,6 +157,56 @@ func runAblationSchedule(o *Options, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runAblationCombinerSchedule crosses every combination module version
+// (mutex, spinlock, atomic/CAS, broadcast) with every compute-phase
+// schedule (static vertex shares, dynamic chunks, edge-balanced shares
+// from the CSR degree prefix sums) on the power-law wiki stand-in, where
+// hub in-degrees make mailbox contention and share imbalance maximal.
+// PageRank is the workload because it is broadcast-only, which every
+// combiner — including pull — admits. A second section measures what the
+// sender-side combining caches absorb for each push combiner.
+func runAblationCombinerSchedule(o *Options, w io.Writer) error {
+	g, err := o.Graph("wiki")
+	if err != nil {
+		return err
+	}
+	app := apps(o)[0] // PageRank
+	combiners := []core.Combiner{core.CombinerMutex, core.CombinerSpin, core.CombinerAtomic, core.CombinerPull}
+	schedules := []core.Schedule{core.ScheduleStatic, core.ScheduleDynamic, core.ScheduleEdgeBalanced}
+	var rows [][]string
+	fmt.Fprintf(w, "PageRank on wiki (power-law), %-9s per combiner × schedule:\n", "runtime")
+	for _, comb := range combiners {
+		for _, sched := range schedules {
+			cfg := core.Config{Combiner: comb, Schedule: sched}
+			m, err := measureIP(o, app, g, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-10s %-14s %s\n", comb, sched, m)
+			rows = append(rows, []string{comb.String(), sched.String(), "false",
+				itoa(int64(m.Mean)), itoa(int64(m.Margin)), utoa(0)})
+		}
+	}
+	fmt.Fprintln(w, "sender-side combining (static schedule, push combiners):")
+	for _, comb := range []core.Combiner{core.CombinerMutex, core.CombinerSpin, core.CombinerAtomic} {
+		cfg := core.Config{Combiner: comb, SenderCombining: true}
+		m, err := measureIP(o, app, g, cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := app.runIP(o, g, cfg)
+		if err != nil {
+			return err
+		}
+		frac := float64(rep.TotalLocalCombines) / float64(rep.TotalMessages)
+		fmt.Fprintf(w, "  %-10s %-14s %s  (%.0f%% of sends combined locally)\n", comb, "+combining", m, 100*frac)
+		rows = append(rows, []string{comb.String(), core.ScheduleStatic.String(), "true",
+			itoa(int64(m.Mean)), itoa(int64(m.Margin)), utoa(rep.TotalLocalCombines)})
+	}
+	return saveCSV(o, "ablation-combiner-schedule",
+		[]string{"combiner", "schedule", "sender_combining", "mean_ns", "margin_ns", "local_combines"}, rows)
 }
 
 // runAblationCombiner shows what the combiner buys the *baseline*: the

@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig7", "fig8", "fig9",
 		"mem-versions", "mem-projection", "speedups",
 		"ablation-addressing", "ablation-schedule", "ablation-combiner",
-		"ablation-balance", "ablation-mirroring", "shm-baseline",
-		"active-curves",
+		"ablation-combiner-schedule", "ablation-balance",
+		"ablation-mirroring", "shm-baseline", "active-curves",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -110,6 +110,36 @@ func TestAblations(t *testing.T) {
 	runExp(t, "ablation-combiner", "with combiner", "no combiner")
 	runExp(t, "ablation-balance", "imbalance=", "bypass=true")
 	runExp(t, "ablation-mirroring", "no mirroring", "mirror deg>=64")
+}
+
+// TestAblationCombinerSchedule smoke-runs the 4-combiner × 3-schedule
+// cross and checks the CSV lands with one row per cell plus the
+// sender-combining section.
+func TestAblationCombinerSchedule(t *testing.T) {
+	o := quickOpts()
+	o.CSVDir = t.TempDir()
+	var sb strings.Builder
+	if err := Run("ablation-combiner-schedule", o, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, s := range []string{"atomic", "edge-balanced", "broadcast", "combined locally"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("output missing %q:\n%s", s, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(o.CSVDir, "ablation-combiner-schedule.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// header + 4 combiners × 3 schedules + 3 sender-combining rows
+	if len(lines) != 1+4*3+3 {
+		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), 1+4*3+3, data)
+	}
+	if lines[0] != "combiner,schedule,sender_combining,mean_ns,margin_ns,local_combines" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
 }
 
 func TestActiveCurves(t *testing.T) {

@@ -36,12 +36,20 @@ const (
 	// end of the superstep. Race-free, lock-free; requires the graph's
 	// in-adjacency and a broadcast-only application.
 	CombinerPull
+	// CombinerAtomic is the lock-free push combiner the follow-up iPregel
+	// work moves to: delivery combines into the mailbox word with a
+	// compare-and-swap retry loop instead of taking a per-vertex lock.
+	// It requires the message type to fit a machine word
+	// (int32/uint32/float32/int64/uint64/float64); engine construction
+	// fails with a clear error otherwise.
+	CombinerAtomic
 )
 
 var combinerNames = map[Combiner]string{
-	CombinerMutex: "mutex",
-	CombinerSpin:  "spinlock",
-	CombinerPull:  "broadcast",
+	CombinerMutex:  "mutex",
+	CombinerSpin:   "spinlock",
+	CombinerPull:   "broadcast",
+	CombinerAtomic: "atomic",
 }
 
 func (c Combiner) String() string {
@@ -51,8 +59,8 @@ func (c Combiner) String() string {
 	return fmt.Sprintf("Combiner(%d)", int(c))
 }
 
-// ParseCombiner converts "mutex", "spinlock"/"spin", or
-// "broadcast"/"pull" to a Combiner.
+// ParseCombiner converts "mutex", "spinlock"/"spin", "broadcast"/"pull",
+// or "atomic"/"cas" to a Combiner.
 func ParseCombiner(s string) (Combiner, error) {
 	switch strings.ToLower(s) {
 	case "mutex":
@@ -61,6 +69,8 @@ func ParseCombiner(s string) (Combiner, error) {
 		return CombinerSpin, nil
 	case "broadcast", "pull":
 		return CombinerPull, nil
+	case "atomic", "cas":
+		return CombinerAtomic, nil
 	}
 	return 0, fmt.Errorf("core: unknown combiner %q", s)
 }
@@ -123,6 +133,16 @@ const (
 	// the load-balancing alternative the paper's conclusion points to as
 	// future work. Kept for the ablation benchmarks.
 	ScheduleDynamic
+	// ScheduleEdgeBalanced splits the full-scan compute phase so that each
+	// worker receives an equal share of *out-edges* rather than vertices,
+	// with contiguous boundaries computed once from the CSR degree prefix
+	// sums. On power-law graphs a vertex-count split can hand one worker
+	// the hubs and leave the rest idle ("Strategies to Deal with an
+	// Extreme Form of Irregularity", Capelli & Brown); an edge split
+	// equalises the message work instead. Phases whose work items are not
+	// the full vertex range (frontier runs under selection bypass, the
+	// pull collect phase) fall back to static equal shares.
+	ScheduleEdgeBalanced
 )
 
 func (s Schedule) String() string {
@@ -131,8 +151,24 @@ func (s Schedule) String() string {
 		return "static"
 	case ScheduleDynamic:
 		return "dynamic"
+	case ScheduleEdgeBalanced:
+		return "edge-balanced"
 	}
 	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// ParseSchedule converts "static", "dynamic", or
+// "edge-balanced"/"edgebal"/"edges" to a Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return ScheduleStatic, nil
+	case "dynamic":
+		return ScheduleDynamic, nil
+	case "edge-balanced", "edgebal", "edges":
+		return ScheduleEdgeBalanced, nil
+	}
+	return 0, fmt.Errorf("core: unknown schedule %q", s)
 }
 
 // Config selects the module versions of an Engine, the Go equivalent of
@@ -151,6 +187,14 @@ type Config struct {
 	// Schedule controls work splitting; the zero value is the paper's
 	// static equal shares.
 	Schedule Schedule
+	// SenderCombining gives every worker a small direct-mapped combining
+	// cache (slot → pending message): repeated sends to the same hot
+	// destination are pre-combined worker-locally and reach the shared
+	// mailbox only on cache eviction and at the compute-phase barrier.
+	// This cuts lock/CAS traffic on high-in-degree vertices for all push
+	// combiners; it is rejected with the pull combiner, whose outboxes
+	// already make delivery contention-free.
+	SenderCombining bool
 	// MaxSupersteps aborts runs that exceed this many supersteps; 0 means
 	// no limit.
 	MaxSupersteps int
@@ -174,8 +218,14 @@ type Config struct {
 // "spinlock+bypass" or "broadcast".
 func (c Config) VersionName() string {
 	name := c.Combiner.String()
+	if c.SenderCombining {
+		name += "+combining"
+	}
 	if c.SelectionBypass {
 		name += "+bypass"
+	}
+	if c.Schedule == ScheduleEdgeBalanced {
+		name += "+edgebal"
 	}
 	return name
 }

@@ -73,6 +73,10 @@ type Context[V, M any] struct {
 
 	// next-frontier buffer under selection bypass (§4)
 	frontierBuf []int32
+
+	// cache is the worker-local combining cache (Config.SenderCombining);
+	// nil when the feature is off. Push deliveries route through it.
+	cache *senderCache[M]
 }
 
 // Superstep returns the current superstep number, starting at 0
@@ -104,11 +108,22 @@ func (c *Context[V, M]) Send(dst graph.VertexID, msg M) {
 	if slot < 0 || slot >= e.slots || (e.shift > 0 && slot < e.shift) {
 		panic(fmt.Sprintf("core: message sent to unknown vertex %d", dst))
 	}
-	e.mb.deliver(slot, msg)
+	c.push(slot, msg)
 	c.msgs++
 	if e.cfg.SelectionBypass {
 		c.enroll(slot)
 	}
+}
+
+// push routes one delivery through the worker's combining cache when
+// sender-side combining is on, and straight to the shared mailbox
+// otherwise.
+func (c *Context[V, M]) push(slot int, msg M) {
+	if c.cache != nil {
+		c.cache.add(slot, msg, c.e.mb)
+		return
+	}
+	c.e.mb.deliver(slot, msg)
 }
 
 // Broadcast sends msg to every out-neighbour of v (IP_broadcast). With
@@ -138,7 +153,7 @@ func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
 		// message (§5): for direct/offset/desolate mapping this folds into
 		// pure arithmetic, for the hashmap baseline it is a real lookup.
 		dst := e.addr.locate(base + nb)
-		e.mb.deliver(dst, msg)
+		c.push(dst, msg)
 		c.msgs++
 		if e.cfg.SelectionBypass {
 			c.enroll(dst)
@@ -165,4 +180,7 @@ func (c *Context[V, M]) enroll(slot int) {
 func (c *Context[V, M]) resetSuperstep() {
 	c.msgs, c.ran, c.votes = 0, 0, 0
 	c.frontierBuf = c.frontierBuf[:0]
+	if c.cache != nil {
+		c.cache.combined = 0
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,13 @@ type Engine[V, M any] struct {
 	inNext       []uint32 // CAS flags deduplicating next-frontier entries
 	frontier     []int32  // slots to run this superstep
 	frontierNext []int32
+	gatherOffs   []int   // per-worker frontier copy offsets (gatherFrontier)
+	auditSeen    []uint8 // slot-indexed scratch for the bypass audit
+
+	// edgeCuts holds the ScheduleEdgeBalanced vertex boundaries: worker w
+	// scans [edgeCuts[w], edgeCuts[w+1]), each range holding ~M/threads
+	// out-edges. Computed once from the CSR degree prefix sums.
+	edgeCuts []int32
 
 	workers    []*Context[V, M]
 	agg        *aggregators
@@ -81,6 +89,9 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 	if cfg.SelectionBypass && !g.HasOutAdjacency() {
 		return nil, fmt.Errorf("core: selection bypass enrols out-neighbours (paper §4) and needs the out-adjacency, which this graph stripped")
 	}
+	if cfg.SenderCombining && cfg.Combiner == CombinerPull {
+		return nil, fmt.Errorf("core: sender-side combining pre-combines push deliveries; the pull combiner's outboxes are already contention-free (§6.2)")
+	}
 	addr, err := newAddresser(g, cfg.Addressing)
 	if err != nil {
 		return nil, err
@@ -94,15 +105,24 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 		slots:   addr.slots(),
 		threads: cfg.threads(),
 	}
-	e.mb = newMailbox[M](cfg, e.slots, prog.Combine, g, e.shift)
+	e.mb, err = newMailbox[M](cfg, e.slots, prog.Combine, g, e.shift)
+	if err != nil {
+		return nil, err
+	}
 	e.values = make([]V, e.slots)
 	e.active = make([]uint8, e.slots)
 	if cfg.SelectionBypass {
 		e.inNext = make([]uint32, e.slots)
 	}
+	if cfg.Schedule == ScheduleEdgeBalanced {
+		e.edgeCuts = edgeBalancedCuts(g, e.threads)
+	}
 	e.workers = make([]*Context[V, M], e.threads)
 	for w := range e.workers {
 		e.workers[w] = &Context[V, M]{e: e, worker: w}
+		if cfg.SenderCombining {
+			e.workers[w].cache = newSenderCache[M](prog.Combine)
+		}
 	}
 	e.agg = newAggregators(e.threads)
 	if cfg.TrackWorkerTime {
@@ -154,6 +174,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		}
 
 		ranTotal := e.computePhase()
+		if e.cfg.SenderCombining {
+			e.drainSenderCaches()
+		}
 
 		if e.cfg.SelectionBypass {
 			e.gatherFrontier()
@@ -171,19 +194,23 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			return e.report, fmt.Errorf("core: compute panicked at superstep %d: %v", e.superstep, p)
 		}
 
-		var msgs uint64
+		var msgs, localCombines uint64
 		var votes int64
 		for _, w := range e.workers {
 			msgs += w.msgs
 			votes += w.votes
+			if w.cache != nil {
+				localCombines += w.cache.combined
+			}
 		}
 		activeAfter := ranTotal - votes
 
 		step := StepStats{
-			Ran:      ranTotal,
-			Messages: msgs,
-			Active:   activeAfter,
-			Duration: time.Since(stepStart),
+			Ran:           ranTotal,
+			Messages:      msgs,
+			Active:        activeAfter,
+			LocalCombines: localCombines,
+			Duration:      time.Since(stepStart),
 		}
 		if e.busy != nil {
 			step.WorkerBusy = append([]time.Duration(nil), e.busy...)
@@ -193,6 +220,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			e.observer(e.superstep, step)
 		}
 		e.report.TotalMessages += msgs
+		e.report.TotalLocalCombines += localCombines
 
 		if e.cfg.SelectionBypass {
 			if activeAfter > 0 {
@@ -237,7 +265,7 @@ func (e *Engine[V, M]) computePhase() int64 {
 		// Superstep 0 runs everything in both modes: all vertices start
 		// active.
 		first := e.superstep == 0
-		e.parallelFor(e.g.N(), func(w, i int) {
+		e.parallelForVertices(func(w, i int) {
 			slot := i + e.shift
 			if first || e.active[slot] != 0 || e.mb.hasCurrent(slot) {
 				e.runVertex(w, slot)
@@ -284,11 +312,46 @@ func (e *Engine[V, M]) collectPhase() {
 	})
 }
 
-// gatherFrontier concatenates the workers' next-frontier buffers.
+// drainSenderCaches flushes every worker's combining cache into the
+// shared mailbox at the compute-phase barrier, before the buffer swap.
+// Workers drain their own caches concurrently; deliver is concurrent-safe
+// on every push combiner.
+func (e *Engine[V, M]) drainSenderCaches() {
+	e.parallelFor(len(e.workers), func(_, wi int) {
+		e.workers[wi].cache.drain(e.mb)
+	})
+}
+
+// parallelGatherMin is the frontier size below which gatherFrontier's
+// per-worker copies stay serial (forking workers costs more than the copy).
+const parallelGatherMin = 1 << 15
+
+// gatherFrontier concatenates the workers' next-frontier buffers. Each
+// worker's share starts at an offset precomputed from the buffer lengths,
+// so on large frontiers the copies run in parallel instead of a serial
+// append loop.
 func (e *Engine[V, M]) gatherFrontier() {
-	e.frontierNext = e.frontierNext[:0]
-	for _, w := range e.workers {
-		e.frontierNext = append(e.frontierNext, w.frontierBuf...)
+	if e.gatherOffs == nil {
+		e.gatherOffs = make([]int, len(e.workers))
+	}
+	total := 0
+	for i, w := range e.workers {
+		e.gatherOffs[i] = total
+		total += len(w.frontierBuf)
+	}
+	if cap(e.frontierNext) < total {
+		e.frontierNext = make([]int32, total)
+	} else {
+		e.frontierNext = e.frontierNext[:total]
+	}
+	if total >= parallelGatherMin && e.threads > 1 {
+		e.parallelFor(len(e.workers), func(_, wi int) {
+			copy(e.frontierNext[e.gatherOffs[wi]:], e.workers[wi].frontierBuf)
+		})
+		return
+	}
+	for i, w := range e.workers {
+		copy(e.frontierNext[e.gatherOffs[i]:], w.frontierBuf)
 	}
 }
 
@@ -305,49 +368,89 @@ func (e *Engine[V, M]) tryMarkNext(slot int) bool {
 }
 
 // auditBypass (debug) verifies the §4 implication: after the swap, every
-// vertex holding a message is in the new frontier.
+// vertex holding a message is in the new frontier. Membership is tracked
+// in a slot-indexed byte array reused across supersteps — a map here
+// allocates per superstep and dominates the audit on million-vertex
+// graphs.
 func (e *Engine[V, M]) auditBypass() error {
-	inFrontier := make(map[int32]bool, len(e.frontier))
+	if e.auditSeen == nil {
+		e.auditSeen = make([]uint8, e.slots)
+	} else {
+		clear(e.auditSeen)
+	}
 	for _, s := range e.frontier {
-		inFrontier[s] = true
+		e.auditSeen[s] = 1
 	}
 	for i := 0; i < e.g.N(); i++ {
 		slot := i + e.shift
-		if e.mb.hasCurrent(slot) && !inFrontier[int32(slot)] {
+		if e.mb.hasCurrent(slot) && e.auditSeen[slot] == 0 {
 			return fmt.Errorf("core: bypass audit: vertex %d has mail but is not in the frontier", e.addr.idOf(slot))
 		}
 	}
 	return nil
 }
 
+// guard wraps one worker's share of a phase: a panic in body (a buggy
+// user program, or the framework's own misuse panics such as Send on the
+// pull combiner) is contained — the offending worker stops, the phase
+// completes, and Run reports the panic as an error instead of tearing the
+// process down.
+func (e *Engine[V, M]) guard(w int, loop func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+		}
+	}()
+	if e.busy != nil {
+		t0 := time.Now()
+		defer func() { e.busy[w] += time.Since(t0) }()
+	}
+	loop()
+}
+
+// dispatch runs perWorker(0..t-1) on the persistent pool or on freshly
+// forked goroutines and blocks until all complete.
+func (e *Engine[V, M]) dispatch(t int, perWorker func(w int)) {
+	if e.pool != nil {
+		e.pool.run(t, perWorker)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func(w int) {
+			defer wg.Done()
+			perWorker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// paddedCursor is the dynamic schedule's shared chunk counter, padded to
+// its own cache line on both sides: under high thread counts an unpadded
+// counter false-shares its line with whatever the allocator placed next
+// to it, and every AddInt64 then invalidates innocent data.
+type paddedCursor struct {
+	_ [64]byte
+	n int64
+	_ [56]byte
+}
+
 // parallelFor splits n work items across the engine's workers according
-// to the configured schedule and blocks until all complete. A panic in
-// body (a buggy user program, or the framework's own misuse panics such
-// as Send on the pull combiner) is contained: the offending worker stops,
-// the phase completes, and Run reports the panic as an error instead of
-// tearing the process down.
+// to the configured schedule and blocks until all complete.
+// ScheduleEdgeBalanced applies only to the full-vertex compute scan (see
+// parallelForVertices); for other work domains it degrades to static
+// equal shares.
 func (e *Engine[V, M]) parallelFor(n int, body func(worker, i int)) {
 	if n == 0 {
 		return
-	}
-	guard := func(w int, loop func()) {
-		defer func() {
-			if r := recover(); r != nil {
-				e.panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
-			}
-		}()
-		if e.busy != nil {
-			t0 := time.Now()
-			defer func() { e.busy[w] += time.Since(t0) }()
-		}
-		loop()
 	}
 	t := e.threads
 	if t > n {
 		t = n
 	}
 	if t == 1 {
-		guard(0, func() {
+		e.guard(0, func() {
 			for i := 0; i < n; i++ {
 				body(0, i)
 			}
@@ -362,11 +465,11 @@ func (e *Engine[V, M]) parallelFor(n int, body func(worker, i int)) {
 		if chunk < 64 {
 			chunk = 64
 		}
-		var cursor int64
+		cursor := new(paddedCursor)
 		perWorker = func(w int) {
-			guard(w, func() {
+			e.guard(w, func() {
 				for {
-					lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+					lo := int(atomic.AddInt64(&cursor.n, int64(chunk))) - chunk
 					if lo >= n {
 						return
 					}
@@ -380,30 +483,60 @@ func (e *Engine[V, M]) parallelFor(n int, body func(worker, i int)) {
 				}
 			})
 		}
-	default: // ScheduleStatic: the paper's equal contiguous shares
+	default: // ScheduleStatic (and edge-balanced off its domain): equal contiguous shares
 		perWorker = func(w int) {
 			lo, hi := w*n/t, (w+1)*n/t
-			guard(w, func() {
+			e.guard(w, func() {
 				for i := lo; i < hi; i++ {
 					body(w, i)
 				}
 			})
 		}
 	}
+	e.dispatch(t, perWorker)
+}
 
-	if e.pool != nil {
-		e.pool.run(t, perWorker)
+// parallelForVertices is parallelFor over the full vertex range 0..N()-1
+// (internal indices). Under ScheduleEdgeBalanced it uses the precomputed
+// degree-prefix-sum cuts so every worker scans a contiguous range holding
+// an equal share of out-edges — on power-law graphs the vertex-count
+// split hands whichever worker owns the hubs almost all of the message
+// work.
+func (e *Engine[V, M]) parallelForVertices(body func(worker, i int)) {
+	n := e.g.N()
+	if e.cfg.Schedule != ScheduleEdgeBalanced || e.threads == 1 || len(e.edgeCuts) != e.threads+1 {
+		e.parallelFor(n, body)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for w := 0; w < t; w++ {
-		go func(w int) {
-			defer wg.Done()
-			perWorker(w)
-		}(w)
+	cuts := e.edgeCuts
+	e.dispatch(e.threads, func(w int) {
+		e.guard(w, func() {
+			for i := int(cuts[w]); i < int(cuts[w+1]); i++ {
+				body(w, i)
+			}
+		})
+	})
+}
+
+// edgeBalancedCuts splits [0, N()) into t contiguous vertex ranges of
+// ~equal out-edge counts. The CSR out-offsets are already the degree
+// prefix sums, so each boundary is one binary search for the smallest
+// vertex whose offset reaches w*M/t.
+func edgeBalancedCuts(g *graph.Graph, t int) []int32 {
+	n := g.N()
+	m := g.M()
+	cuts := make([]int32, t+1)
+	cuts[t] = int32(n)
+	for w := 1; w < t; w++ {
+		target := m * uint64(w) / uint64(t)
+		cuts[w] = int32(sort.Search(n, func(i int) bool { return g.OutEdgeOffset(i) >= target }))
 	}
-	wg.Wait()
+	for w := 1; w <= t; w++ { // collapse degenerate boundaries monotonically
+		if cuts[w] < cuts[w-1] {
+			cuts[w] = cuts[w-1]
+		}
+	}
+	return cuts
 }
 
 // Observe installs a callback invoked after every superstep barrier with
@@ -456,6 +589,12 @@ func (e *Engine[V, M]) FootprintBytes() uint64 {
 		b += uint64(len(e.inNext)) * 4
 		b += uint64(cap(e.frontier)+cap(e.frontierNext)) * 4
 	}
+	if e.cfg.SenderCombining {
+		for _, w := range e.workers {
+			b += w.cache.footprintBytes()
+		}
+	}
+	b += uint64(len(e.edgeCuts)) * 4
 	return b
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"unsafe"
 
@@ -234,15 +235,19 @@ func (mb *pullMailbox[M]) footprintBytes() uint64 {
 	return mb.buffersBytes() + uint64(len(mb.outbox))*msg + uint64(len(mb.outFlag))
 }
 
-// newMailbox builds the combination module version chosen by cfg.
-func newMailbox[M any](cfg Config, slots int, combine CombineFunc[M], g *graph.Graph, shift int) mailbox[M] {
+// newMailbox builds the combination module version chosen by cfg. It
+// fails when the version's assumptions do not hold for M (the atomic
+// combiner requires word-sized messages).
+func newMailbox[M any](cfg Config, slots int, combine CombineFunc[M], g *graph.Graph, shift int) (mailbox[M], error) {
 	switch cfg.Combiner {
 	case CombinerMutex:
-		return newMutexMailbox[M](slots, combine)
+		return newMutexMailbox[M](slots, combine), nil
 	case CombinerSpin:
-		return newSpinMailbox[M](slots, combine)
+		return newSpinMailbox[M](slots, combine), nil
 	case CombinerPull:
-		return newPullMailbox[M](slots, combine, g, shift)
+		return newPullMailbox[M](slots, combine, g, shift), nil
+	case CombinerAtomic:
+		return newAtomicMailbox[M](slots, combine)
 	}
-	panic("core: unknown combiner")
+	return nil, fmt.Errorf("core: unknown combiner %v", cfg.Combiner)
 }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// atomicMailbox is the lock-free push combiner the follow-up iPregel work
+// adopts ("Vertex-centric programmability vs memory efficiency and
+// performance, why choose?"): instead of guarding each mailbox with a
+// per-vertex lock, delivery combines into the mailbox word with a
+// compare-and-swap retry loop. The message must therefore fit a machine
+// word; eligibility is decided once at engine construction by a type
+// switch over the supported numeric types (no reflection on the hot path),
+// and the bit conversion is a width-dispatched unsafe reinterpretation.
+//
+// Per-slot state machine (stateNext):
+//
+//	slotEmpty --CAS--> slotBusy --store value, store state--> slotFull
+//
+// Once a slot is slotFull it stays so for the rest of the superstep and
+// every further delivery is a pure load/combine/CAS loop on the value
+// word — no lock bytes, no blocked senders. The only waiting window is
+// slotBusy, the two stores between a first deliverer winning the empty
+// slot and publishing its value; concurrent first-deliveries to the same
+// virgin slot spin through it (bounded, then Gosched).
+type atomicMailbox[M any] struct {
+	combine CombineFunc[M]
+	// message payload bits, double-buffered like the locked push versions
+	now, next []uint64
+	// per-slot occupancy state (slotEmpty/slotBusy/slotFull)
+	stateNow, stateNext []uint32
+	// wide selects 8-byte bit conversion (4-byte otherwise)
+	wide bool
+}
+
+const (
+	slotEmpty uint32 = iota
+	slotBusy
+	slotFull
+)
+
+// atomicWidth reports whether M is one of the word-sized message types the
+// CAS combiner supports, and whether it needs the 8-byte conversion.
+func atomicWidth[M any]() (wide bool, err error) {
+	var zero M
+	switch any(zero).(type) {
+	case int64, uint64, float64:
+		return true, nil
+	case int32, uint32, float32:
+		return false, nil
+	}
+	return false, fmt.Errorf("core: the atomic combiner packs each mailbox into one machine word and supports int32, uint32, float32, int64, uint64 and float64 messages; message type %T does not qualify — pick the mutex or spinlock combiner", zero)
+}
+
+func newAtomicMailbox[M any](slots int, combine CombineFunc[M]) (*atomicMailbox[M], error) {
+	wide, err := atomicWidth[M]()
+	if err != nil {
+		return nil, err
+	}
+	return &atomicMailbox[M]{
+		combine:   combine,
+		now:       make([]uint64, slots),
+		next:      make([]uint64, slots),
+		stateNow:  make([]uint32, slots),
+		stateNext: make([]uint32, slots),
+		wide:      wide,
+	}, nil
+}
+
+func (mb *atomicMailbox[M]) bits(m M) uint64 {
+	if mb.wide {
+		return *(*uint64)(unsafe.Pointer(&m))
+	}
+	return uint64(*(*uint32)(unsafe.Pointer(&m)))
+}
+
+func (mb *atomicMailbox[M]) value(b uint64) M {
+	var m M
+	if mb.wide {
+		*(*uint64)(unsafe.Pointer(&m)) = b
+	} else {
+		*(*uint32)(unsafe.Pointer(&m)) = uint32(b)
+	}
+	return m
+}
+
+func (mb *atomicMailbox[M]) deliver(dst int, msg M) {
+	state := &mb.stateNext[dst]
+	word := &mb.next[dst]
+	for spins := 0; ; {
+		switch atomic.LoadUint32(state) {
+		case slotFull:
+			for {
+				oldBits := atomic.LoadUint64(word)
+				cur := mb.value(oldBits)
+				mb.combine(&cur, msg)
+				newBits := mb.bits(cur)
+				if newBits == oldBits {
+					// combine left the mailbox unchanged (e.g. min with a
+					// larger candidate): nothing to publish
+					return
+				}
+				if atomic.CompareAndSwapUint64(word, oldBits, newBits) {
+					return
+				}
+			}
+		case slotEmpty:
+			if atomic.CompareAndSwapUint32(state, slotEmpty, slotBusy) {
+				atomic.StoreUint64(word, mb.bits(msg))
+				atomic.StoreUint32(state, slotFull)
+				return
+			}
+		default: // slotBusy: the first deliverer is publishing its value
+			spins++
+			if spins%spinTries == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// The read side below runs after the superstep barrier (take/hasCurrent by
+// the slot's owner, peek/restoreCurrent/swap by the coordinator), so plain
+// accesses suffice: the barrier orders them after every atomic delivery.
+
+func (mb *atomicMailbox[M]) take(slot int, m *M) bool {
+	if mb.stateNow[slot] != slotFull {
+		return false
+	}
+	*m = mb.value(mb.now[slot])
+	mb.stateNow[slot] = slotEmpty
+	return true
+}
+
+func (mb *atomicMailbox[M]) hasCurrent(slot int) bool { return mb.stateNow[slot] == slotFull }
+
+func (mb *atomicMailbox[M]) peek(slot int) (M, bool) {
+	var m M
+	if mb.stateNow[slot] != slotFull {
+		return m, false
+	}
+	return mb.value(mb.now[slot]), true
+}
+
+func (mb *atomicMailbox[M]) restoreCurrent(slot int, m M) {
+	mb.now[slot] = mb.bits(m)
+	mb.stateNow[slot] = slotFull
+}
+
+func (mb *atomicMailbox[M]) swap() {
+	clear(mb.stateNow) // drop stale occupancy of vertices that never drained
+	mb.now, mb.next = mb.next, mb.now
+	mb.stateNow, mb.stateNext = mb.stateNext, mb.stateNow
+}
+
+func (mb *atomicMailbox[M]) setOutbox(int, M) {
+	panic("core: broadcast outbox used with a push combiner")
+}
+func (mb *atomicMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
+func (mb *atomicMailbox[M]) clearOutboxes()  {}
+func (mb *atomicMailbox[M]) usesPull() bool  { return false }
+
+// footprintBytes: the value word is always 8 bytes (even for 4-byte
+// messages) plus a 4-byte state per slot and buffer — zero lock bytes, the
+// trade the journal version makes against the 4-byte spinlock.
+func (mb *atomicMailbox[M]) footprintBytes() uint64 {
+	slots := uint64(len(mb.now))
+	return slots*2*8 + slots*2*4
+}

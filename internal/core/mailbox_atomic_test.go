@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+// hammerMailbox drives deliver from `workers` goroutines, each sending
+// `perWorker` messages into `hot` slots, and returns the per-slot values
+// the mailbox ends up holding. The message sequence is deterministic, so
+// callers can compare against a sequential reference.
+func hammerMailbox[M any](t *testing.T, mb mailbox[M], workers, perWorker, hot int, msgAt func(w, k int) (slot int, msg M)) []M {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				slot, msg := msgAt(w, k)
+				mb.deliver(slot, msg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mb.swap()
+	out := make([]M, hot)
+	for s := 0; s < hot; s++ {
+		if !mb.take(s, &out[s]) {
+			t.Fatalf("slot %d: no message after hammering", s)
+		}
+	}
+	return out
+}
+
+// TestPushCombinerHotSlotStress hammers deliver on every push combiner
+// from many goroutines targeting few hot slots with a *sum* combine —
+// the combine that exposes lost updates — and checks the combined result
+// against the sequential reference. Run under -race this also proves the
+// delivery paths are data-race-clean.
+func TestPushCombinerHotSlotStress(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 5000
+		hot       = 3 // few hot slots → maximal contention
+	)
+	sum32 := func(old *uint32, new uint32) { *old += new }
+	msgAt := func(w, k int) (int, uint32) {
+		return (w + k) % hot, uint32(w*perWorker+k)%97 + 1
+	}
+	want := make([]uint32, hot)
+	for w := 0; w < workers; w++ {
+		for k := 0; k < perWorker; k++ {
+			slot, msg := msgAt(w, k)
+			want[slot] += msg
+		}
+	}
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerAtomic} {
+		t.Run(comb.String(), func(t *testing.T) {
+			mb, err := newMailbox[uint32](Config{Combiner: comb}, hot, sum32, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := hammerMailbox(t, mb, workers, perWorker, hot, msgAt)
+			for s := range want {
+				if got[s] != want[s] {
+					t.Fatalf("slot %d: combined %d, want %d", s, got[s], want[s])
+				}
+			}
+		})
+	}
+}
+
+// TestAtomicMailboxWideAndNarrow exercises the CAS combiner's 8-byte and
+// 4-byte bit conversions: float64 sums over exactly representable
+// integers (so reordering cannot perturb the total) and int64 max.
+func TestAtomicMailboxWideAndNarrow(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 3000
+		hot       = 2
+	)
+	t.Run("float64-sum", func(t *testing.T) {
+		sumF := func(old *float64, new float64) { *old += new }
+		msgAt := func(w, k int) (int, float64) { return k % hot, float64(w%5 + 1) }
+		want := make([]float64, hot)
+		for w := 0; w < workers; w++ {
+			for k := 0; k < perWorker; k++ {
+				slot, msg := msgAt(w, k)
+				want[slot] += msg
+			}
+		}
+		mb, err := newMailbox[float64](Config{Combiner: CombinerAtomic}, hot, sumF, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := hammerMailbox(t, mb, workers, perWorker, hot, msgAt)
+		for s := range want {
+			if got[s] != want[s] {
+				t.Fatalf("slot %d: combined %v, want %v", s, got[s], want[s])
+			}
+		}
+	})
+	t.Run("int64-max", func(t *testing.T) {
+		maxI := func(old *int64, new int64) {
+			if new > *old {
+				*old = new
+			}
+		}
+		msgAt := func(w, k int) (int, int64) { return (w * k) % hot, int64(w*1000 + k) }
+		want := make([]int64, hot)
+		for w := 0; w < workers; w++ {
+			for k := 0; k < perWorker; k++ {
+				slot, msg := msgAt(w, k)
+				if msg > want[slot] {
+					want[slot] = msg
+				}
+			}
+		}
+		mb, err := newMailbox[int64](Config{Combiner: CombinerAtomic}, hot, maxI, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := hammerMailbox(t, mb, workers, perWorker, hot, msgAt)
+		for s := range want {
+			if got[s] != want[s] {
+				t.Fatalf("slot %d: combined %v, want %v", s, got[s], want[s])
+			}
+		}
+	})
+}
+
+// TestAtomicCombinerRejectsOversizedMessage: the fallback the tentpole
+// promises — a clear construction error for messages wider than a word.
+func TestAtomicCombinerRejectsOversizedMessage(t *testing.T) {
+	type wide struct{ a, b uint64 }
+	g := ringGraph(4, 0)
+	_, err := New(g, Config{Combiner: CombinerAtomic}, Program[uint32, wide]{
+		Combine: func(old *wide, new wide) { old.a += new.a },
+		Compute: func(ctx *Context[uint32, wide], v Vertex[uint32, wide]) { ctx.VoteToHalt(v) },
+	})
+	if err == nil || !strings.Contains(err.Error(), "machine word") {
+		t.Fatalf("want word-size rejection, got %v", err)
+	}
+}
+
+func TestSenderCombiningRejectsPull(t *testing.T) {
+	g := ringGraph(4, 0)
+	_, err := New(g, Config{Combiner: CombinerPull, SenderCombining: true}, counterProgram(1))
+	if err == nil || !strings.Contains(err.Error(), "sender-side combining") {
+		t.Fatalf("want sender-combining rejection, got %v", err)
+	}
+}
+
+// TestSenderCacheEquivalence feeds an identical random send stream
+// directly into one mailbox and through a combining cache into another;
+// after the drain both must hold identical slot contents, and the cache
+// must report the local combines it absorbed.
+func TestSenderCacheEquivalence(t *testing.T) {
+	const slots = 1 << 12
+	sum32 := func(old *uint32, new uint32) { *old += new }
+	direct, err := newMailbox[uint32](Config{Combiner: CombinerSpin}, slots, sum32, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := newMailbox[uint32](Config{Combiner: CombinerSpin}, slots, sum32, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newSenderCache[uint32](sum32)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		// zipf-ish: half the traffic hits 8 hub slots, the rest is uniform
+		var slot int
+		if rng.Intn(2) == 0 {
+			slot = rng.Intn(8)
+		} else {
+			slot = rng.Intn(slots)
+		}
+		msg := uint32(rng.Intn(1000))
+		direct.deliver(slot, msg)
+		cache.add(slot, msg, cached)
+	}
+	cache.drain(cached)
+	if cache.combined == 0 {
+		t.Fatal("hub-heavy stream produced zero local combines")
+	}
+	direct.swap()
+	cached.swap()
+	for s := 0; s < slots; s++ {
+		var a, b uint32
+		okA := direct.take(s, &a)
+		okB := cached.take(s, &b)
+		if okA != okB || a != b {
+			t.Fatalf("slot %d: direct=(%d,%v) cached=(%d,%v)", s, a, okA, b, okB)
+		}
+	}
+	// a drained cache must be empty: a second drain delivers nothing
+	cache.drain(cached)
+	cached.swap()
+	var m uint32
+	for s := 0; s < slots; s++ {
+		if cached.take(s, &m) {
+			t.Fatalf("slot %d: message after draining an empty cache", s)
+		}
+	}
+}
+
+// skewGraph builds a star-plus-ring: vertex 0 has out-degree n-1 (the
+// hub), everyone else degree ~2 — the degree shape that breaks
+// vertex-count splits.
+func skewGraph(n int) *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+func TestEdgeBalancedCuts(t *testing.T) {
+	g := skewGraph(1024)
+	const threads = 4
+	cuts := edgeBalancedCuts(g, threads)
+	if len(cuts) != threads+1 || cuts[0] != 0 || cuts[threads] != int32(g.N()) {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	m := g.M()
+	maxShare := uint64(0)
+	for w := 0; w < threads; w++ {
+		if cuts[w+1] < cuts[w] {
+			t.Fatalf("cuts not monotone: %v", cuts)
+		}
+		share := g.OutEdgeOffset(int(cuts[w+1])) - g.OutEdgeOffset(int(cuts[w]))
+		if share > maxShare {
+			maxShare = share
+		}
+	}
+	// every share is at most the ideal share plus one vertex's degree
+	// (boundaries land on vertex granularity; the hub bounds the slack)
+	ideal := m/threads + uint64(g.OutDegree(0))
+	if maxShare > ideal {
+		t.Fatalf("max edge share %d exceeds ideal+hub %d (cuts %v)", maxShare, ideal, cuts)
+	}
+	// a vertex-count split would give worker 0 the hub plus a quarter of
+	// the ring: strictly more than the edge-balanced maximum
+	vertexShare := g.OutEdgeOffset(g.N()/threads) - g.OutEdgeOffset(0)
+	if vertexShare <= maxShare {
+		t.Fatalf("edge-balanced split (max %d) does not improve on vertex split (%d)", maxShare, vertexShare)
+	}
+}
+
+// TestEdgeBalancedScheduleResults checks the schedule changes only the
+// work split, never the results, across combiners and thread counts.
+func TestEdgeBalancedScheduleResults(t *testing.T) {
+	g := skewGraph(300)
+	ref, _, err := Run(g, Config{Combiner: CombinerMutex, Threads: 1}, counterProgram(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ValuesDense()
+	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerAtomic} {
+		for _, threads := range []int{2, 5} {
+			for _, sc := range []bool{false, true} {
+				cfg := Config{Combiner: comb, Schedule: ScheduleEdgeBalanced, Threads: threads, SenderCombining: sc}
+				e, _, err := Run(g, cfg, counterProgram(4))
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.VersionName(), err)
+				}
+				for i, v := range e.ValuesDense() {
+					if v != want[i] {
+						t.Fatalf("%s threads=%d: vertex %d = %d, want %d", cfg.VersionName(), threads, i, v, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAtomicEngineHotHubStress runs a full engine superstep loop where
+// every vertex floods the single hub vertex — end-to-end contention over
+// the CAS mailbox and the sender caches, meaningful under -race.
+func TestAtomicEngineHotHubStress(t *testing.T) {
+	const n = 2000
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), 0) // all roads lead to the hub
+	}
+	g := b.MustBuild()
+	prog := Program[uint64, uint64]{
+		Combine: func(old *uint64, new uint64) { *old += new },
+		Compute: func(ctx *Context[uint64, uint64], v Vertex[uint64, uint64]) {
+			var m uint64
+			for ctx.NextMessage(v, &m) {
+				*v.Value() += m
+			}
+			if ctx.Superstep() < 3 {
+				ctx.Broadcast(v, uint64(v.ID())+1)
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+	var want uint64
+	for i := 1; i < n; i++ {
+		want += uint64(i) + 1
+	}
+	want *= 3 // three broadcasting supersteps
+	for _, sc := range []bool{false, true} {
+		cfg := Config{Combiner: CombinerAtomic, Threads: 8, SenderCombining: sc}
+		e, rep, err := Run(g, cfg, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.VersionName(), err)
+		}
+		if got := e.ValuesDense()[0]; got != want {
+			t.Fatalf("%s: hub accumulated %d, want %d", cfg.VersionName(), got, want)
+		}
+		if sc && rep.TotalLocalCombines == 0 {
+			t.Fatal("sender combining absorbed no deliveries on an all-to-one workload")
+		}
+		if !sc && rep.TotalLocalCombines != 0 {
+			t.Fatal("TotalLocalCombines nonzero with sender combining off")
+		}
+	}
+}
+
+func TestParseCombinerAndSchedule(t *testing.T) {
+	if c, err := ParseCombiner("atomic"); err != nil || c != CombinerAtomic {
+		t.Fatalf("ParseCombiner(atomic) = %v, %v", c, err)
+	}
+	if c, err := ParseCombiner("cas"); err != nil || c != CombinerAtomic {
+		t.Fatalf("ParseCombiner(cas) = %v, %v", c, err)
+	}
+	for in, want := range map[string]Schedule{"static": ScheduleStatic, "dynamic": ScheduleDynamic, "edge-balanced": ScheduleEdgeBalanced, "edgebal": ScheduleEdgeBalanced} {
+		s, err := ParseSchedule(in)
+		if err != nil || s != want {
+			t.Fatalf("ParseSchedule(%q) = %v, %v", in, s, err)
+		}
+	}
+	if _, err := ParseSchedule("nope"); err == nil {
+		t.Fatal("ParseSchedule accepted garbage")
+	}
+	got := Config{Combiner: CombinerAtomic, SenderCombining: true, Schedule: ScheduleEdgeBalanced}.VersionName()
+	if got != "atomic+combining+edgebal" {
+		t.Fatalf("VersionName = %q", got)
+	}
+}

@@ -16,6 +16,11 @@ type StepStats struct {
 	Messages uint64
 	// Active is the number of vertices still active after the superstep.
 	Active int64
+	// LocalCombines counts sends that were merged inside a worker's
+	// combining cache (Config.SenderCombining) and therefore never
+	// touched the shared mailbox — the lock/CAS traffic the feature
+	// removed this superstep. Always 0 when sender combining is off.
+	LocalCombines uint64
 	// Duration is the wall-clock time of the superstep.
 	Duration time.Duration
 	// WorkerBusy holds each worker's busy time this superstep when
@@ -52,6 +57,11 @@ type Report struct {
 	Supersteps int
 	// TotalMessages counts all messages sent across the run.
 	TotalMessages uint64
+	// TotalLocalCombines counts the sends absorbed by the workers'
+	// combining caches across the run (see StepStats.LocalCombines);
+	// TotalMessages - TotalLocalCombines deliveries reached the shared
+	// mailbox.
+	TotalLocalCombines uint64
 	// Duration is the superstep execution time — like the paper's
 	// methodology it excludes graph loading and preprocessing (§7.1.2).
 	Duration time.Duration
