@@ -1,13 +1,21 @@
 GO ?= go
 
 # `make check` is the standard verification entry point (see README.md):
-# vet + build + full test suite + a race-detector pass over the engine,
-# whose combiners, sender caches and schedules must stay race-clean.
-.PHONY: check vet build test race bench
-check: vet build test race
+# vet + the ipregel-vet analyzer suite + build + full test suite + a
+# race-detector pass over the engine and algorithms, whose combiners,
+# sender caches and schedules must stay race-clean (the race targets run
+# with Config.CheckInvariants enabled in their configs).
+.PHONY: check vet ipregel-vet build test race fuzz bench
+check: vet ipregel-vet build test race
 
 vet:
 	$(GO) vet ./...
+
+# ipregel-vet enforces the framework contracts go vet cannot see
+# (word-sized atomic messages, halt obligations under selection bypass,
+# handle escapes, combiner purity, atomic field discipline).
+ipregel-vet:
+	$(GO) run ./cmd/ipregel-vet ./...
 
 build:
 	$(GO) build ./...
@@ -16,7 +24,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/algorithms/...
+
+# Short fuzz pass over every graph parser; `error, never panic` on
+# arbitrary bytes. Lengthen FUZZTIME for a deeper run.
+FUZZTIME ?= 10s
+fuzz:
+	for t in FuzzReadEdgeList FuzzReadKONECT FuzzReadDIMACS FuzzReadMETIS FuzzReadBinary; do \
+		$(GO) test ./internal/graphio/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,229 @@
+// Command ipregel-vet is the module's static-analysis driver: it runs the
+// internal/analysis suite (msgword, ctxescape, bypasshalt, sendphase,
+// nakedatomic) over packages of this module, printing go-vet-style
+// diagnostics and exiting non-zero when any survive suppression.
+//
+// Usage:
+//
+//	ipregel-vet [-only name[,name]] [package-dir|dir/...]...
+//	ipregel-vet help
+//
+// With no arguments it checks ./... from the current directory. Findings
+// can be silenced in source with
+//
+//	//ipregel:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipregel/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw *os.File) int {
+	fs := flag.NewFlagSet("ipregel-vet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 1 && patterns[0] == "help" {
+		printHelp(out)
+		return 0
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(errw, "ipregel-vet:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "ipregel-vet:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(errw, "ipregel-vet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(errw, "ipregel-vet:", err)
+		return 2
+	}
+
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(errw, "ipregel-vet:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(errw, "ipregel-vet: no packages match", strings.Join(patterns, " "))
+		return 2
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		targets, err := loader.LoadDir(dir, "")
+		if err != nil {
+			fmt.Fprintf(errw, "ipregel-vet: %s: %v\n", dir, err)
+			return 2
+		}
+		for _, target := range targets {
+			diags, err := analysis.Run(analyzers, loader, target)
+			if err != nil {
+				fmt.Fprintf(errw, "ipregel-vet: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintf(out, "%s\n", diagString(d, cwd))
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// diagString renders a diagnostic with its file path relative to the
+// invocation directory when possible, matching go vet's output shape.
+func diagString(d analysis.Diagnostic, cwd string) string {
+	pos := d.Pos
+	if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message)
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, analyzerNames(all))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func analyzerNames(all []*analysis.Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func printHelp(out *os.File) {
+	fmt.Fprintln(out, "ipregel-vet checks iPregel framework contracts the compiler cannot see.")
+	fmt.Fprintln(out)
+	for _, a := range analysis.All() {
+		fmt.Fprintf(out, "%s: %s\n\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(out, "Suppress a finding with `//ipregel:ignore <analyzer> <reason>` on the")
+	fmt.Fprintln(out, "flagged line or the line above. The reason is mandatory.")
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves package patterns to package directories: a
+// trailing /... walks the tree (skipping testdata, vendor, and hidden
+// directories), anything else names one directory.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		base, recursive := strings.CutSuffix(p, "/...")
+		if base == "" || base == "." {
+			base = "."
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -37,6 +37,7 @@ func allVersionsChecked() []core.Config {
 	vs := core.AllVersions()
 	for i := range vs {
 		vs[i].CheckBypass = true
+		vs[i].CheckInvariants = true
 		vs[i].Threads = 3
 	}
 	return vs

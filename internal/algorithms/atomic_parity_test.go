@@ -65,6 +65,7 @@ func TestAtomicCombinerSSSPParity(t *testing.T) {
 				cfg := cfg
 				cfg.SelectionBypass = bypass
 				cfg.CheckBypass = bypass
+				cfg.CheckInvariants = true
 				got, _, err := SSSP(g, cfg, 2)
 				if err != nil {
 					t.Fatalf("%s/%s: %v", gname, cfg.VersionName(), err)

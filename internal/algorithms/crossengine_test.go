@@ -163,6 +163,7 @@ func TestCrossEngineEquivalenceProperty(t *testing.T) {
 			cfg.Threads = 1 + vi%3
 			cfg.Schedule = core.Schedule(vi % 2)
 			cfg.CheckBypass = cfg.SelectionBypass
+			cfg.CheckInvariants = true
 			e, _, err := core.Run(g, cfg, potentialProgram(seed))
 			if err != nil {
 				t.Logf("%s: %v", cfg.VersionName(), err)
@@ -185,6 +186,7 @@ func TestCrossEngineEquivalenceProperty(t *testing.T) {
 		} {
 			cfg.Threads = 2 + vi%3
 			cfg.CheckBypass = cfg.SelectionBypass
+			cfg.CheckInvariants = true
 			e, _, err := core.Run(g, cfg, potentialProgram(seed))
 			if err != nil {
 				t.Logf("%s: %v", cfg.VersionName(), err)

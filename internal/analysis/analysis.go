@@ -1,0 +1,191 @@
+// Package analysis is ipregel-vet: a static-analysis suite enforcing the
+// framework contracts the Go compiler cannot see. iPregel's performance
+// rests on preconditions stated in the paper and checked — if at all — at
+// run time: the atomic combiner needs word-sized messages, selection
+// bypass needs every vertex to vote to halt each superstep (§4), Context
+// and Vertex handles are slot views valid only inside the current Compute
+// call, combiners must be pure, and the lock-free mailbox fields tolerate
+// no plain element access. The five analyzers here move those contracts
+// to lint time; Config.CheckInvariants in internal/core is their runtime
+// complement for what lint cannot prove.
+//
+// The Analyzer/Pass/Diagnostic shapes deliberately mirror
+// golang.org/x/tools/go/analysis so the analyzers could be ported to a
+// standard multichecker verbatim; the module stays dependency-free by
+// re-implementing the thin driver layer on the standard library (see
+// Loader).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name, a doc string, and a Run
+// function producing diagnostics over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ipregel:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the help text shown by `ipregel-vet help`.
+	Doc string
+	// Run executes the analysis on one package.
+	Run func(*Pass) error
+}
+
+// A Pass connects one Analyzer run to one Target package.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset resolves the positions of every file the pass can see,
+	// including dependency syntax obtained through PackageFiles.
+	Fset *token.FileSet
+	// Files is the target package's syntax.
+	Files []*ast.File
+	// Pkg is the target's type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the target's type information.
+	TypesInfo *types.Info
+	// loader grants read access to dependency syntax.
+	loader *Loader
+	// diags collects the diagnostics reported so far.
+	diags []Diagnostic
+}
+
+// PackageFiles returns the parsed non-test syntax of another module
+// package (nil when unavailable). Analyzers use it to follow references —
+// e.g. into a Program-constructor defined in a sibling package.
+func (p *Pass) PackageFiles(path string) []*ast.File {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.PackageFiles(path)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the five ipregel-vet analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MsgWord, CtxEscape, BypassHalt, SendPhase, NakedAtomic}
+}
+
+// Run executes the analyzers over one target and returns the surviving
+// diagnostics, sorted by position, with //ipregel:ignore suppressions
+// applied. Malformed ignore directives (no analyzer name or no reason)
+// are themselves reported, so a suppression is always a documented,
+// auditable decision.
+func Run(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     target.Files,
+			Pkg:       target.Types,
+			TypesInfo: target.Info,
+			loader:    loader,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", target.PkgPath, a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	sup := collectSuppressions(loader.Fset, target.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// ignoreDirective is the suppression marker: a comment of the form
+//
+//	//ipregel:ignore <analyzer> <reason...>
+//
+// on the flagged line or the line directly above it silences that
+// analyzer there. The reason is mandatory — an undocumented suppression
+// is reported as a finding of its own.
+const ignoreDirective = "//ipregel:ignore"
+
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressions struct {
+	keys      map[suppressionKey]bool
+	malformed []Diagnostic
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{keys: map[suppressionKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ipregel-vet",
+						Message:  "malformed ignore directive: want //ipregel:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				// Suppress on the directive's own line and the next line
+				// (covering both trailing-comment and line-above styles).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					s.keys[suppressionKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	return s.keys[suppressionKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}]
+}

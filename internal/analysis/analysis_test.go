@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedIgnoreDirective pins the two-sided contract of a reasonless
+// //ipregel:ignore: the underlying diagnostic survives, and the directive
+// itself becomes a finding. (This cannot use the want convention — the
+// expectation sits on the directive's own comment line.)
+func TestMalformedIgnoreDirective(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	targets, err := loader.LoadDir(filepath.Join("testdata", "src", "suppressbad"), "fixture/suppressbad")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("got %d targets, want 1", len(targets))
+	}
+	diags, err := Run([]*Analyzer{MsgWord}, loader, targets[0])
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (unsuppressed finding + malformed directive):\n%v", len(diags), diags)
+	}
+	var sawFinding, sawMalformed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "msgword":
+			sawFinding = strings.Contains(d.Message, "CombinerAtomic requires a word-sized message type")
+		case "ipregel-vet":
+			sawMalformed = strings.Contains(d.Message, "malformed ignore directive")
+		}
+	}
+	if !sawFinding || !sawMalformed {
+		t.Fatalf("missing expected diagnostics (finding=%v malformed=%v):\n%v", sawFinding, sawMalformed, diags)
+	}
+}
+
+// TestAllAnalyzersNamed guards the multichecker surface: five analyzers,
+// distinct names, non-empty docs.
+func TestAllAnalyzersNamed(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestLoaderLoadsCore sanity-checks the stdlib-only loader against the
+// real module: internal/core type-checks with its imports resolved
+// recursively from source.
+func TestLoaderLoadsCore(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	targets, err := loader.LoadDir(filepath.Join(loader.ModuleRoot, "internal", "core"), "")
+	if err != nil {
+		t.Fatalf("load internal/core: %v", err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets for internal/core")
+	}
+	if got := targets[0].PkgPath; got != CorePath {
+		t.Fatalf("primary package path = %q, want %q", got, CorePath)
+	}
+}

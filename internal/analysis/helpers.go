@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CorePath is the import path of the framework package whose contracts
+// the analyzers enforce.
+const CorePath = "ipregel/internal/core"
+
+// coreNamed reports whether t (after unwrapping aliases) is the named
+// type name from internal/core, at any generic instantiation.
+func coreNamed(t types.Type, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == CorePath
+}
+
+// isContextPtr reports whether t is *core.Context[V, M].
+func isContextPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	return ok && coreNamed(p.Elem(), "Context")
+}
+
+// isVertex reports whether t is core.Vertex[V, M] (a value type).
+func isVertex(t types.Type) bool { return coreNamed(t, "Vertex") }
+
+// isHandle reports whether t is either per-superstep slot view.
+func isHandle(t types.Type) bool { return isContextPtr(t) || isVertex(t) }
+
+// coreFuncObj resolves the function called by call to a *types.Func
+// declared in internal/core, returning it together with the identifier
+// naming it (the key into TypesInfo.Instances for generic calls).
+func coreFuncObj(info *types.Info, call *ast.CallExpr) (*types.Func, *ast.Ident) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation: core.New[V, M](...)
+		return coreFuncObj(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return coreFuncObj(info, &ast.CallExpr{Fun: fun.X})
+	default:
+		return nil, nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != CorePath {
+		return nil, nil
+	}
+	return fn, id
+}
+
+// engineCall recognises the engine constructors core.New(g, cfg, prog)
+// and core.Run(g, cfg, prog), returning the identifier carrying the
+// instantiation (for type arguments) and the cfg and prog argument
+// expressions.
+func engineCall(info *types.Info, call *ast.CallExpr) (id *ast.Ident, cfg, prog ast.Expr, ok bool) {
+	fn, id := coreFuncObj(info, call)
+	if fn == nil || (fn.Name() != "New" && fn.Name() != "Run") || len(call.Args) != 3 {
+		return nil, nil, nil, false
+	}
+	return id, call.Args[1], call.Args[2], true
+}
+
+// messageTypeOf extracts the message type argument M of an instantiated
+// core.New/core.Run call (nil when the instantiation is not recorded,
+// e.g. inside generic code).
+func messageTypeOf(info *types.Info, id *ast.Ident) types.Type {
+	inst, ok := info.Instances[id]
+	if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() != 2 {
+		return nil
+	}
+	return inst.TypeArgs.At(1)
+}
+
+// wordSized reports whether t is one of the exact message types the
+// atomic combiner's runtime type switch accepts (mirroring atomicWidth in
+// internal/core: named types with a word-sized underlying do NOT qualify,
+// the switch matches exact types).
+func wordSized(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Uint32, types.Float32, types.Int64, types.Uint64, types.Float64:
+		return true
+	}
+	return false
+}
+
+// resolveComposite chases expr to a composite literal: either expr is one
+// directly, or it is a local variable whose initialising assignment in
+// the enclosing function body is one. path is the ancestor chain of the
+// expression's use site (innermost last), used to find the enclosing
+// function.
+func resolveComposite(info *types.Info, path []ast.Node, expr ast.Expr) *ast.CompositeLit {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return e
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return lit
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		fn := enclosingFuncBody(path)
+		if fn == nil {
+			return nil
+		}
+		var lit *ast.CompositeLit
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if li, ok := lhs.(*ast.Ident); ok && (info.Defs[li] == obj || info.Uses[li] == obj) && i < len(st.Rhs) {
+						if cl, ok := ast.Unparen(st.Rhs[i]).(*ast.CompositeLit); ok {
+							lit = cl
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if info.Defs[name] == obj && i < len(st.Values) {
+						if cl, ok := ast.Unparen(st.Values[i]).(*ast.CompositeLit); ok {
+							lit = cl
+						}
+					}
+				}
+			}
+			return true
+		})
+		return lit
+	}
+	return nil
+}
+
+// fieldValue returns the value bound to the named field in a (keyed)
+// struct composite literal, or nil.
+func fieldValue(lit *ast.CompositeLit, name string) ast.Expr {
+	if lit == nil {
+		return nil
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == name {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// constBoolTrue reports whether expr is the constant true.
+func constBoolTrue(info *types.Info, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+// isCoreConst reports whether expr resolves to the named constant from
+// internal/core (e.g. CombinerAtomic).
+func isCoreConst(info *types.Info, expr ast.Expr, name string) bool {
+	if expr == nil {
+		return false
+	}
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Name() == name && c.Pkg() != nil && c.Pkg().Path() == CorePath
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal on path.
+func enclosingFuncBody(path []ast.Node) *ast.BlockStmt {
+	for i := len(path) - 1; i >= 0; i-- {
+		switch fn := path[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// walkWithStack traverses every file, calling visit with each node and
+// the ancestor chain leading to it (excluding the node itself).
+func walkWithStack(files []*ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := visit(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// funcDeclByName finds a top-level function declaration by (optionally
+// qualified) name within the given files.
+func funcDeclByName(files []*ast.File, name string) *ast.FuncDecl {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// directiveOn reports whether the comment group carries the given
+// //-style directive (exact token at line start, e.g. "ipregel:atomic").
+func directiveOn(groups []*ast.CommentGroup, directive string) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if strings.TrimSpace(text) == directive {
+				return true
+			}
+		}
+	}
+	return false
+}

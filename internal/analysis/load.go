@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports are resolved recursively from
+// source, standard-library imports through go/importer's source importer
+// (which type-checks GOROOT sources and therefore works offline). It is
+// the stand-in for golang.org/x/tools/go/packages, which this module
+// deliberately does not depend on.
+//
+// A Loader memoizes dependency packages (compiled from their non-test
+// files, matching the go build graph) and retains their syntax trees, so
+// analyzers can follow references into other packages of the module —
+// bypasshalt uses this to look inside Program-constructor functions.
+type Loader struct {
+	// Fset is the file set shared by every package the loader touches;
+	// all diagnostic positions resolve through it.
+	Fset *token.FileSet
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	std  types.Importer
+	pkgs map[string]*depPkg
+}
+
+// depPkg is a memoized dependency package: non-test files only.
+type depPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	err   error
+}
+
+// Target is one type-checked package ready for analysis, including its
+// test files (in-package test files join the primary target; external
+// _test packages become their own target).
+type Target struct {
+	// PkgPath is the import path ("ipregel/internal/core", with a
+	// "_test" suffix for external test packages).
+	PkgPath string
+	// Dir is the directory the files came from.
+	Dir string
+	// Files are the parsed syntax trees, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type information for Files.
+	Info *types.Info
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot, reading
+// the module path from its go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: loader needs a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", abs)
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		pkgs:       map[string]*depPkg{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l, nil
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else falls through to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.internal(path) {
+		p, err := l.dep(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) internal(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+func (l *Loader) dirOf(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// dep loads (and memoizes) a module-internal package from its non-test
+// files, the view other packages import.
+func (l *Loader) dep(path string) (*depPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, p.err
+	}
+	p := &depPkg{}
+	l.pkgs[path] = p // pre-register to fail fast on import cycles
+	p.err = fmt.Errorf("analysis: import cycle through %q", path)
+
+	files, err := l.parseDir(l.dirOf(path), func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	if len(files) == 0 {
+		p.err = fmt.Errorf("analysis: no Go files for %q in %s", path, l.dirOf(path))
+		return p, p.err
+	}
+	p.files = files
+	p.info = newInfo()
+	p.types, p.err = l.check(path, files, p.info, nil)
+	return p, p.err
+}
+
+// PackageFiles returns the parsed non-test syntax of a module-internal
+// package, loading it on demand (nil if the package cannot be loaded).
+// Analyzers use it to follow references across packages of the module.
+func (l *Loader) PackageFiles(path string) []*ast.File {
+	if !l.internal(path) {
+		return nil
+	}
+	p, err := l.dep(path)
+	if err != nil {
+		return nil
+	}
+	return p.files
+}
+
+// LoadDir parses and type-checks the package in dir as an analysis
+// target: the primary package includes in-package test files, and an
+// external _test package (if any) is returned as a second target whose
+// import of the primary resolves to the test-augmented package.
+// pkgPath optionally overrides the import path derived from the
+// directory's position in the module (used for testdata fixtures, which
+// live outside the module's package tree).
+func (l *Loader) LoadDir(dir string, pkgPath string) ([]*Target, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkgPath == "" {
+		rel, err := filepath.Rel(l.ModuleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+		}
+		pkgPath = l.ModulePath
+		if rel != "." {
+			pkgPath += "/" + filepath.ToSlash(rel)
+		}
+	}
+
+	all, err := l.parseDir(abs, func(string) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+
+	// Split by package clause: the primary package (non-test + in-package
+	// test files) and the external test package.
+	var primary, external []*ast.File
+	for _, f := range all {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			primary = append(primary, f)
+		}
+	}
+
+	var out []*Target
+	var primaryTypes *types.Package
+	if len(primary) > 0 {
+		info := newInfo()
+		tpkg, err := l.check(pkgPath, primary, info, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkgPath, err)
+		}
+		primaryTypes = tpkg
+		out = append(out, &Target{PkgPath: pkgPath, Dir: abs, Files: primary, Types: tpkg, Info: info})
+	}
+	if len(external) > 0 {
+		info := newInfo()
+		// The external test package imports the primary package; resolve
+		// that import to the test-augmented view built above (mirroring
+		// `go test`, where export_test.go files widen the API).
+		tpkg, err := l.check(pkgPath+"_test", external, info, map[string]*types.Package{pkgPath: primaryTypes})
+		if err != nil {
+			return nil, fmt.Errorf("%s_test: %w", pkgPath, err)
+		}
+		out = append(out, &Target{PkgPath: pkgPath + "_test", Dir: abs, Files: external, Types: tpkg, Info: info})
+	}
+	return out, nil
+}
+
+// parseDir parses every .go file in dir whose base name passes keep,
+// sorted by name for deterministic diagnostics.
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if keep(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as package path. overrides maps import paths to
+// pre-built packages consulted before the loader's own resolution.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info, overrides map[string]*types.Package) (*types.Package, error) {
+	var imp types.Importer = l
+	if len(overrides) > 0 {
+		imp = overrideImporter{overrides: overrides, next: l}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return pkg, firstErr
+	}
+	return pkg, err
+}
+
+type overrideImporter struct {
+	overrides map[string]*types.Package
+	next      types.Importer
+}
+
+func (o overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.overrides[path]; ok && p != nil {
+		return p, nil
+	}
+	return o.next.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

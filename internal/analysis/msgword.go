@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MsgWord flags engine construction that pairs CombinerAtomic with a
+// message type the CAS mailbox cannot pack into a machine word — the
+// lint-time mirror of the runtime check in core's atomicWidth. The
+// runtime check fires on the first construction; this one fires in CI,
+// before a misconfigured deployment exists.
+var MsgWord = &Analyzer{
+	Name: "msgword",
+	Doc: `flag CombinerAtomic paired with a non-word-sized message type
+
+The atomic combiner packs each mailbox into one uint64 and combines with
+a compare-and-swap loop, so the message type must be exactly int32,
+uint32, float32, int64, uint64 or float64 (named types do not qualify:
+the engine's eligibility switch matches exact types). Any other pairing
+fails at engine construction; this analyzer reports it at lint time.`,
+	Run: runMsgWord,
+}
+
+func runMsgWord(pass *Pass) error {
+	info := pass.TypesInfo
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, cfgArg, _, ok := engineCall(info, call)
+		if !ok {
+			return true
+		}
+		msg := messageTypeOf(info, id)
+		if msg == nil || wordSized(msg) {
+			return true
+		}
+		cfgLit := resolveComposite(info, append(stack, call), cfgArg)
+		if cfgLit == nil {
+			return true
+		}
+		combiner := fieldValue(cfgLit, "Combiner")
+		if !isCoreConst(info, combiner, "CombinerAtomic") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "CombinerAtomic requires a word-sized message type (int32, uint32, float32, int64, uint64 or float64); message type %s cannot be packed into the CAS mailbox word — engine construction will fail at run time", msg)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicDirective marks a slice-typed struct field whose elements are
+// concurrently accessed and must therefore only be touched through
+// sync/atomic (by taking an element's address and handing it to an
+// atomic operation). internal/core marks the lock-free mailbox's
+// delivery-side buffers and the bypass dedup flags this way.
+const atomicDirective = "ipregel:atomic"
+
+// NakedAtomic enforces the mailbox protocol's memory discipline: the
+// fields carrying the empty/busy/full state machine (and the frontier
+// dedup flags) are CASed by concurrent workers, so a plain element load
+// or store is a data race the happens-before reasoning in
+// mailbox_atomic.go does not cover — one -race may or may not catch,
+// depending on scheduling.
+var NakedAtomic = &Analyzer{
+	Name: "nakedatomic",
+	Doc: `flag plain element access of //ipregel:atomic-marked fields
+
+Struct fields documented with an //ipregel:atomic directive may only
+have their elements accessed by address (&f[i], for passing to
+sync/atomic) — a bare f[i] read, write, or range is reported. Whole-
+field operations (swap, make, len, clear) remain free: the protocol
+constrains element access, not the slice header. The directive is
+scoped to the declaring package, matching the fields' unexported
+visibility.`,
+	Run: runNakedAtomic,
+}
+
+func runNakedAtomic(pass *Pass) error {
+	info := pass.TypesInfo
+
+	marked := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !directiveOn([]*ast.CommentGroup{field.Doc, field.Comment}, atomicDirective) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						marked[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !marked[info.Uses[sel.Sel]] || len(stack) == 0 {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch p := parent.(type) {
+		case *ast.IndexExpr:
+			if p.X != sel {
+				return true // the field is the index, not the indexee
+			}
+			if len(stack) >= 2 {
+				if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					return true // &f[i]: address taken for a sync/atomic call
+				}
+			}
+			pass.Reportf(p.Pos(), "element of %s accessed without sync/atomic: the field is marked //ipregel:atomic (concurrent CAS protocol); take the element's address and use atomic.Load/Store/CompareAndSwap", sel.Sel.Name)
+		case *ast.RangeStmt:
+			// An index-only range (`for i := range f`) reads no elements
+			// and stays legal; binding the element value is a plain load.
+			if p.X == sel && p.Value != nil {
+				pass.Reportf(p.Pos(), "range over %s performs plain element loads: the field is marked //ipregel:atomic (concurrent CAS protocol); index it and use atomic loads", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SendPhase enforces combiner purity. A CombineFunc runs inside message
+// delivery — under the destination mailbox's lock, inside a CAS retry
+// loop, or during the pull collect phase — and may run any number of
+// times for the same logical message (the CAS loop retries, sender
+// caches pre-combine). Calling Send or Broadcast from one would deliver
+// recursively from inside delivery: re-entrant locking on the mutex
+// combiner, unbounded retry amplification on the atomic one, and a data
+// race on the pull combiner's owner-only write phase.
+var SendPhase = &Analyzer{
+	Name: "sendphase",
+	Doc: `flag Send/Broadcast calls reachable from combine functions
+
+Functions used as core.Program.Combine or converted to core.CombineFunc
+must be pure reductions of their two arguments. This analyzer reports
+ctx.Send and ctx.Broadcast calls lexically inside such functions and
+inside same-package functions they call. (Named aggregators reduce with
+operator constants — core.AggOp — and carry no user code; if functional
+reducers are ever added, their registration sites belong here too.)`,
+	Run: runSendPhase,
+}
+
+func runSendPhase(pass *Pass) error {
+	info := pass.TypesInfo
+
+	var roots []ast.Expr
+	walkWithStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && coreNamed(tv.Type, "Program") {
+				if v := fieldValue(n, "Combine"); v != nil {
+					roots = append(roots, v)
+				}
+			}
+		case *ast.CallExpr:
+			// Explicit conversion: core.CombineFunc[T](f).
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && coreNamed(tv.Type, "CombineFunc") && len(n.Args) == 1 {
+				roots = append(roots, n.Args[0])
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := info.Types[n.Type]; ok && coreNamed(tv.Type, "CombineFunc") {
+					roots = append(roots, n.Values...)
+				}
+			}
+		}
+		return true
+	})
+
+	visited := map[ast.Node]bool{}
+	for _, root := range roots {
+		pass.scanCombinerPurity(root, visited)
+	}
+	return nil
+}
+
+// scanCombinerPurity resolves fn to a body in this package and reports
+// Send/Broadcast calls inside it, recursing into same-package callees.
+func (pass *Pass) scanCombinerPurity(fn ast.Expr, visited map[ast.Node]bool) {
+	switch e := ast.Unparen(fn).(type) {
+	case *ast.FuncLit:
+		pass.scanCombinerBody(e, e.Body, visited)
+	case *ast.Ident, *ast.SelectorExpr:
+		f, _ := calleeFunc(pass.TypesInfo, &ast.CallExpr{Fun: e})
+		if f == nil {
+			return // unresolvable reference
+		}
+		if f.Pkg() != pass.Pkg {
+			return // cross-package combiners are checked in their home package
+		}
+		if decl := funcDeclByName(pass.Files, f.Name()); decl != nil && decl.Body != nil {
+			pass.scanCombinerBody(decl, decl.Body, visited)
+		}
+	}
+}
+
+func (pass *Pass) scanCombinerBody(node ast.Node, body *ast.BlockStmt, visited map[ast.Node]bool) {
+	if visited[node] {
+		return
+	}
+	visited[node] = true
+	info := pass.TypesInfo
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Send" || sel.Sel.Name == "Broadcast" {
+				if tv, ok := info.Types[sel.X]; ok && isContextPtr(tv.Type) {
+					pass.Reportf(call.Pos(), "%s called from a combine function: combiners run inside message delivery (under the mailbox lock / CAS loop) and must be pure reductions of their arguments", sel.Sel.Name)
+					return true
+				}
+			}
+		}
+		// Follow same-package callees: a send hidden one call deep is
+		// just as re-entrant.
+		if f, _ := calleeFunc(info, call); f != nil && f.Pkg() == pass.Pkg {
+			if decl := funcDeclByName(pass.Files, f.Name()); decl != nil && decl.Body != nil {
+				pass.scanCombinerBody(decl, decl.Body, visited)
+			}
+		}
+		return true
+	})
+}

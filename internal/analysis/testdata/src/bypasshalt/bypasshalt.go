@@ -1,0 +1,88 @@
+// Fixture for the bypasshalt analyzer: SelectionBypass configs whose
+// Compute has a return path that neither votes to halt nor sends.
+package bypasshalt
+
+import (
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+)
+
+func earlyReturn(g *graph.Graph) {
+	prog := core.Program[int, int32]{
+		Compute: func(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+			if ctx.Superstep() > 3 {
+				return // want `returns without ctx\.VoteToHalt or a send on this path`
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+	_, _ = core.New(g, core.Config{Combiner: core.CombinerSpin, SelectionBypass: true}, prog)
+}
+
+func fallsOffEnd(g *graph.Graph) {
+	_, _ = core.New(g, core.Config{SelectionBypass: true}, core.Program[int, int32]{
+		Compute: computeNoHalt,
+	})
+}
+
+func computeNoHalt(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+	if ctx.IsFirstSuperstep() {
+		ctx.Broadcast(v, 1)
+		return
+	}
+} // want `Compute can fall off the end without ctx\.VoteToHalt or a send`
+
+func viaConstructor(g *graph.Graph) {
+	_, _ = core.New(g, core.Config{SelectionBypass: true}, newLeakyProgram())
+}
+
+func newLeakyProgram() core.Program[int, int32] {
+	return core.Program[int, int32]{
+		Compute: func(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+			var m int32
+			for ctx.NextMessage(v, &m) {
+				ctx.Send(v.ID(), m)
+			}
+			// The loop body may run zero times, so the send does not
+			// cover this path.
+		}, // want `Compute can fall off the end`
+	}
+}
+
+func allPathsCovered(g *graph.Graph) {
+	_, _ = core.New(g, core.Config{SelectionBypass: true}, core.Program[int, int32]{
+		Compute: func(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+			defer ctx.VoteToHalt(v)
+			if ctx.IsFirstSuperstep() {
+				ctx.Broadcast(v, 1)
+				return
+			}
+			var m int32
+			for ctx.NextMessage(v, &m) {
+				if m > 0 {
+					ctx.Send(v.ID(), m)
+				}
+			}
+		},
+	})
+}
+
+func haltInEveryBranch(g *graph.Graph) {
+	_, _ = core.New(g, core.Config{SelectionBypass: true}, core.Program[int, int32]{
+		Compute: func(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+			switch {
+			case ctx.IsFirstSuperstep():
+				ctx.Broadcast(v, 1)
+			default:
+				ctx.VoteToHalt(v)
+			}
+		},
+	})
+}
+
+func noBypassNotChecked(g *graph.Graph) {
+	// Without SelectionBypass the halt obligation does not apply.
+	_, _ = core.New(g, core.Config{}, core.Program[int, int32]{
+		Compute: func(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {},
+	})
+}

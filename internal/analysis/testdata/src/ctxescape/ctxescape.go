@@ -1,0 +1,52 @@
+// Fixture for the ctxescape analyzer: Context and Vertex handles are
+// per-superstep slot views and must not outlive the Compute call.
+package ctxescape
+
+import (
+	"ipregel/internal/core"
+)
+
+type holder struct {
+	ctx *core.Context[int, int32]
+	v   core.Vertex[int, int32]
+}
+
+var escapedCtx *core.Context[int, int32]
+
+var ctxChan = make(chan *core.Context[int, int32], 1)
+
+func compute(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+	h := &holder{}
+	h.ctx = ctx // want `stored into struct field ctx`
+	h.v = v     // want `stored into struct field v`
+
+	escapedCtx = ctx // want `stored into package variable escapedCtx`
+
+	_ = holder{ctx: ctx} // want `stored into a composite literal`
+	_ = []core.Vertex[int, int32]{v} // want `stored into a composite literal`
+
+	ctxChan <- ctx // want `sent on a channel`
+
+	go leak(ctx) // want `passed to a goroutine`
+
+	go func() { // no diagnostic on this line
+		_ = ctx // want `captured by a goroutine closure`
+	}()
+}
+
+func leak(*core.Context[int, int32]) {}
+
+func finePatterns(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+	// Local aliases within the call are fine: they die with the frame.
+	alias := ctx
+	_ = alias
+
+	// Passing the handle down synchronous calls is fine.
+	leak(ctx)
+
+	// A synchronous closure (not a goroutine) capturing the handle is
+	// fine: it cannot outlive the call unless stored, which is flagged
+	// at the store.
+	f := func() int32 { var m int32; _ = ctx.NextMessage(v, &m); return m }
+	_ = f()
+}

@@ -1,0 +1,60 @@
+// Fixture for the nakedatomic analyzer: elements of fields marked
+// //ipregel:atomic may only be accessed by address, for sync/atomic.
+package nakedatomic
+
+import "sync/atomic"
+
+type mailbox struct {
+	// state carries the slot state machine; concurrent workers CAS its
+	// elements.
+	//
+	//ipregel:atomic
+	state []uint32
+
+	// data is unmarked: plain access is fine.
+	data []uint64
+
+	//ipregel:atomic
+	flags []uint32
+}
+
+func (m *mailbox) loadOK(i int) uint32 {
+	return atomic.LoadUint32(&m.state[i]) // address-taken for sync/atomic: fine
+}
+
+func (m *mailbox) casOK(i int) bool {
+	return atomic.CompareAndSwapUint32(&m.flags[i], 0, 1)
+}
+
+func (m *mailbox) nakedLoad(i int) uint32 {
+	return m.state[i] // want `element of state accessed without sync/atomic`
+}
+
+func (m *mailbox) nakedStore(i int, v uint32) {
+	m.state[i] = v // want `element of state accessed without sync/atomic`
+}
+
+func (m *mailbox) nakedRange() (n uint32) {
+	for _, s := range m.state { // want `range over state performs plain element loads`
+		n += s
+	}
+	return n
+}
+
+func (m *mailbox) wholeFieldOK(n int) {
+	// Whole-field operations concern the slice header, not elements.
+	m.state = make([]uint32, n)
+	m.flags = m.flags[:0]
+	_ = len(m.state)
+	_ = cap(m.flags)
+
+	// An index-only range reads no elements.
+	for i := range m.state {
+		_ = i
+	}
+
+	// Unmarked fields are free.
+	m.data[0] = 1
+	for range m.data {
+	}
+}

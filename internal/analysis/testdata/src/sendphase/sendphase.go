@@ -1,0 +1,60 @@
+// Fixture for the sendphase analyzer: combine functions run inside
+// message delivery and must be pure reductions of their two arguments.
+package sendphase
+
+import (
+	"ipregel/internal/core"
+)
+
+// pureMin is a well-behaved combiner.
+var _ = core.Program[int, int32]{
+	Combine: func(old *int32, msg int32) {
+		if msg < *old {
+			*old = msg
+		}
+	},
+}
+
+// A combiner closure that captures a Context and sends from it.
+func leakyProgram(ctx *core.Context[int, int32]) core.Program[int, int32] {
+	return core.Program[int, int32]{
+		Combine: func(old *int32, msg int32) {
+			ctx.Send(7, msg) // want `Send called from a combine function`
+			*old += msg
+		},
+	}
+}
+
+// A declared combiner that hides the send one call deep.
+var _ = core.Program[int, int32]{
+	Combine: combineIndirect,
+}
+
+var stashedCtx *core.Context[int, int32]
+
+func combineIndirect(old *int32, msg int32) {
+	forward(msg)
+	*old += msg
+}
+
+func forward(msg int32) {
+	var v core.Vertex[int, int32]
+	stashedCtx.Broadcast(v, msg) // want `Broadcast called from a combine function`
+}
+
+// An explicit CombineFunc conversion is a registration site too.
+var _ = core.CombineFunc[int32](func(old *int32, msg int32) {
+	stashedCtx.Send(0, msg) // want `Send called from a combine function`
+})
+
+// So is a CombineFunc-typed declaration.
+var _ core.CombineFunc[int32] = func(old *int32, msg int32) {
+	stashedCtx.Send(1, msg) // want `Send called from a combine function`
+}
+
+// Send from a non-combiner function is fine: the phase contract only
+// binds delivery-time code.
+func computeMaySend(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
+	ctx.Broadcast(v, 2)
+	ctx.VoteToHalt(v)
+}

@@ -1,0 +1,24 @@
+// Fixture for the //ipregel:ignore suppression mechanism, exercised
+// through the msgword analyzer.
+package suppress
+
+import (
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+)
+
+type pair struct{ a, b float64 }
+
+func suppressedSameLine(g *graph.Graph) {
+	_, _ = core.New(g, core.Config{Combiner: core.CombinerAtomic}, core.Program[int, pair]{}) //ipregel:ignore msgword exercising the runtime construction error in a test
+}
+
+func suppressedLineAbove(g *graph.Graph) {
+	//ipregel:ignore msgword exercising the runtime construction error in a test
+	_, _ = core.New(g, core.Config{Combiner: core.CombinerAtomic}, core.Program[int, pair]{})
+}
+
+func wrongAnalyzerName(g *graph.Graph) {
+	//ipregel:ignore ctxescape reason naming the wrong analyzer does not suppress
+	_, _ = core.New(g, core.Config{Combiner: core.CombinerAtomic}, core.Program[int, pair]{}) // want `CombinerAtomic requires a word-sized message type`
+}

@@ -1,0 +1,17 @@
+// Fixture for malformed //ipregel:ignore directives: a directive without
+// a reason suppresses nothing and is reported as a finding of its own.
+// (Checked programmatically in TestMalformedIgnoreDirective — the want
+// convention cannot annotate the directive's own line.)
+package suppressbad
+
+import (
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+)
+
+type pair struct{ a, b float64 }
+
+func missingReason(g *graph.Graph) {
+	//ipregel:ignore msgword
+	_, _ = core.New(g, core.Config{Combiner: core.CombinerAtomic}, core.Program[int, pair]{})
+}

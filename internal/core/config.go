@@ -202,6 +202,17 @@ type Config struct {
 	// superstep under selection bypass, verify no vertex with a pending
 	// message was missed by the frontier.
 	CheckBypass bool
+	// CheckInvariants enables the engine's full runtime audit, a superset
+	// of CheckBypass: at every superstep barrier the engine verifies the
+	// mailbox state machine (no slot stuck mid-publication), the frontier
+	// dedup-flag consistency under selection bypass (every enrolled slot
+	// flagged exactly once, no stray flags), and message conservation for
+	// the push combiners (every Send is accounted for as a worker-local
+	// combine, a shared-mailbox combine, or a first fill of an empty
+	// mailbox). Violations abort the run with an *InvariantError. The
+	// stress and parity test suites run with this on; production runs
+	// leave it off — it adds O(slots) scans per superstep.
+	CheckInvariants bool
 	// TrackWorkerTime records each worker's busy time per superstep into
 	// StepStats.WorkerBusy, feeding Report.LoadImbalance — the measurable
 	// form of §4's load-balancing argument. Off by default (it adds two

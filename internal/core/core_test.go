@@ -204,7 +204,7 @@ func TestBypassMatchesScan(t *testing.T) {
 		var dense [][]uint32
 		var ran [][]int64
 		for _, bypass := range []bool{false, true} {
-			cfg := Config{Combiner: comb, SelectionBypass: bypass, CheckBypass: bypass, Threads: 4}
+			cfg := Config{Combiner: comb, SelectionBypass: bypass, CheckBypass: bypass, CheckInvariants: true, Threads: 4}
 			e, rep, err := Run(g, cfg, haltingFlood(10))
 			if err != nil {
 				t.Fatalf("%s bypass=%v: %v", comb, bypass, err)
@@ -358,9 +358,9 @@ func TestSpinLockMutualExclusion(t *testing.T) {
 func TestMailboxFootprintOrdering(t *testing.T) {
 	g := ringGraph(1000, 0)
 	combine := func(old *uint32, new uint32) { *old += new }
-	mutex := newMutexMailbox[uint32](1000, combine)
-	spin := newSpinMailbox[uint32](1000, combine)
-	pull := newPullMailbox[uint32](1000, combine, g, 0)
+	mutex := newMutexMailbox[uint32](1000, combine, false)
+	spin := newSpinMailbox[uint32](1000, combine, false)
+	pull := newPullMailbox[uint32](1000, combine, g, 0, false)
 	if !(spin.footprintBytes() < mutex.footprintBytes()) {
 		t.Fatalf("spinlock mailbox (%d B) should be lighter than mutex (%d B)", spin.footprintBytes(), mutex.footprintBytes())
 	}

@@ -38,8 +38,12 @@ type Engine[V, M any] struct {
 	values []V
 	active []uint8
 
-	// selection-bypass state (§4)
-	inNext       []uint32 // CAS flags deduplicating next-frontier entries
+	// selection-bypass state (§4). inNext holds the CAS flags
+	// deduplicating next-frontier entries; workers claim slots
+	// concurrently, so element access must go through sync/atomic.
+	//
+	//ipregel:atomic
+	inNext       []uint32
 	frontier     []int32  // slots to run this superstep
 	frontierNext []int32
 	gatherOffs   []int   // per-worker frontier copy offsets (gatherFrontier)
@@ -185,6 +189,12 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			e.collectPhase()
 			e.mb.clearOutboxes()
 		}
+		if e.cfg.CheckInvariants {
+			if err := e.auditInvariants(); err != nil {
+				e.report.Duration = time.Since(start)
+				return e.report, err
+			}
+		}
 		e.mb.swap()
 		if !e.agg.empty() {
 			e.agg.barrier()
@@ -233,7 +243,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			for _, slot := range e.frontier {
 				atomic.StoreUint32(&e.inNext[slot], 0)
 			}
-			if e.cfg.CheckBypass {
+			if e.cfg.CheckBypass || e.cfg.CheckInvariants {
 				if err := e.auditBypass(); err != nil {
 					e.report.Duration = time.Since(start)
 					return e.report, err

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// InvariantError reports a violated engine invariant detected by the
+// Config.CheckInvariants runtime audit. It always indicates a framework
+// bug (or memory corruption), never a user-program mistake: user mistakes
+// surface as ordinary errors (ErrBypassViolation, construction errors) or
+// as the contained panics Run reports.
+type InvariantError struct {
+	// Superstep is the superstep at whose barrier the violation was seen.
+	Superstep int
+	// Invariant names the broken invariant ("mailbox-state",
+	// "frontier-dedup", "message-conservation").
+	Invariant string
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: invariant %q violated at superstep %d: %s", e.Invariant, e.Superstep, e.Detail)
+}
+
+// auditInvariants is the Config.CheckInvariants barrier audit. It runs
+// single-threaded after every worker has joined the compute barrier (and
+// after the sender caches drained and the frontier was gathered) but
+// before the mailbox buffer swap, so the "next" side still holds this
+// superstep's deliveries.
+func (e *Engine[V, M]) auditInvariants() error {
+	if e.panicked.Load() != nil {
+		// A worker died mid-phase; its counters are incomplete and every
+		// check below could fire spuriously. Run reports the panic.
+		return nil
+	}
+	if err := e.mb.auditBarrier(); err != nil {
+		return &InvariantError{Superstep: e.superstep, Invariant: "mailbox-state", Detail: err.Error()}
+	}
+	if err := e.auditConservation(); err != nil {
+		return err
+	}
+	if e.cfg.SelectionBypass {
+		if err := e.auditFrontierDedup(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditConservation checks that every Send this superstep is accounted
+// for: it was either absorbed by a worker's combining cache, combined into
+// an occupied shared mailbox, or filled an empty one. The pull combiner is
+// exempt — its Messages count buffered broadcasts, whose fan-out happens
+// at collect time and is graph-dependent rather than send-conserving.
+func (e *Engine[V, M]) auditConservation() error {
+	defer e.mb.resetDeliveryCounts()
+	if e.mb.usesPull() {
+		return nil
+	}
+	var sent, local uint64
+	for _, w := range e.workers {
+		sent += w.msgs
+		if w.cache != nil {
+			local += w.cache.combined
+		}
+	}
+	combines, fills := e.mb.deliveryCounts()
+	if sent != local+combines+fills {
+		return &InvariantError{
+			Superstep: e.superstep,
+			Invariant: "message-conservation",
+			Detail: fmt.Sprintf("sent %d != local combines %d + mailbox combines %d + mailbox fills %d (= %d); a delivery was lost or double-counted",
+				sent, local, combines, fills, local+combines+fills),
+		}
+	}
+	return nil
+}
+
+// auditFrontierDedup checks the selection-bypass dedup flags against the
+// gathered next frontier: every enrolled slot must appear exactly once,
+// and every set flag must correspond to an enrolled slot. A duplicate
+// would run a vertex twice next superstep; a stray flag would silently
+// suppress a future enrolment (§4's correctness hinges on exactly-once
+// membership).
+func (e *Engine[V, M]) auditFrontierDedup() error {
+	if e.auditSeen == nil {
+		e.auditSeen = make([]uint8, e.slots)
+	} else {
+		clear(e.auditSeen)
+	}
+	for _, slot := range e.frontierNext {
+		if e.auditSeen[slot] != 0 {
+			return &InvariantError{
+				Superstep: e.superstep,
+				Invariant: "frontier-dedup",
+				Detail:    fmt.Sprintf("vertex %d enrolled twice in the next frontier", e.addr.idOf(int(slot))),
+			}
+		}
+		e.auditSeen[slot] = 1
+		if atomic.LoadUint32(&e.inNext[slot]) == 0 {
+			return &InvariantError{
+				Superstep: e.superstep,
+				Invariant: "frontier-dedup",
+				Detail:    fmt.Sprintf("vertex %d is in the next frontier but its dedup flag is clear", e.addr.idOf(int(slot))),
+			}
+		}
+	}
+	var flagged uint64
+	for i := range e.inNext {
+		if atomic.LoadUint32(&e.inNext[i]) != 0 {
+			flagged++
+		}
+	}
+	if flagged != uint64(len(e.frontierNext)) {
+		return &InvariantError{
+			Superstep: e.superstep,
+			Invariant: "frontier-dedup",
+			Detail:    fmt.Sprintf("%d dedup flags set but %d vertices enrolled; a flag leaked without an enrolment", flagged, len(e.frontierNext)),
+		}
+	}
+	return nil
+}

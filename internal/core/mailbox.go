@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"ipregel/internal/graph"
@@ -56,6 +57,19 @@ type mailbox[M any] interface {
 	// footprintBytes reports the heap bytes of the mailbox arrays, for
 	// the §7.4 accounting.
 	footprintBytes() uint64
+	// deliveryCounts returns how many deliveries combined into an occupied
+	// mailbox and how many filled an empty one since the last reset. The
+	// counters are maintained only under Config.CheckInvariants (both are
+	// 0 otherwise) and feed the engine's message-conservation audit.
+	deliveryCounts() (combines, fills uint64)
+	// resetDeliveryCounts zeroes the counters at the superstep barrier.
+	resetDeliveryCounts()
+	// auditBarrier verifies implementation-specific barrier invariants
+	// (e.g. the atomic mailbox's state machine holds no slot mid-
+	// publication once all workers have joined). Called single-threaded
+	// between the compute phase and the buffer swap, only under
+	// Config.CheckInvariants.
+	auditBarrier() error
 }
 
 // pushBuffers is the state shared by both push-based combiners.
@@ -63,16 +77,31 @@ type pushBuffers[M any] struct {
 	combine         CombineFunc[M]
 	now, next       []M
 	hasNow, hasNext []uint8
+	// check enables the delivery counters (Config.CheckInvariants).
+	// Increments use sync/atomic: depositLocked holds only the target
+	// slot's lock, so deposits to different slots race on the counters.
+	check            bool
+	nCombines, nFills uint64
 }
 
-func newPushBuffers[M any](slots int, combine CombineFunc[M]) pushBuffers[M] {
+func newPushBuffers[M any](slots int, combine CombineFunc[M], check bool) pushBuffers[M] {
 	return pushBuffers[M]{
 		combine: combine,
 		now:     make([]M, slots),
 		next:    make([]M, slots),
 		hasNow:  make([]uint8, slots),
 		hasNext: make([]uint8, slots),
+		check:   check,
 	}
+}
+
+func (b *pushBuffers[M]) deliveryCounts() (combines, fills uint64) {
+	return atomic.LoadUint64(&b.nCombines), atomic.LoadUint64(&b.nFills)
+}
+
+func (b *pushBuffers[M]) resetDeliveryCounts() {
+	atomic.StoreUint64(&b.nCombines, 0)
+	atomic.StoreUint64(&b.nFills, 0)
 }
 
 func (b *pushBuffers[M]) take(slot int, m *M) bool {
@@ -110,9 +139,15 @@ func (b *pushBuffers[M]) swap() {
 func (b *pushBuffers[M]) depositLocked(dst int, msg M) {
 	if b.hasNext[dst] != 0 {
 		b.combine(&b.next[dst], msg)
+		if b.check {
+			atomic.AddUint64(&b.nCombines, 1)
+		}
 	} else {
 		b.next[dst] = msg
 		b.hasNext[dst] = 1
+		if b.check {
+			atomic.AddUint64(&b.nFills, 1)
+		}
 	}
 }
 
@@ -130,9 +165,9 @@ type mutexMailbox[M any] struct {
 	locks []sync.Mutex
 }
 
-func newMutexMailbox[M any](slots int, combine CombineFunc[M]) *mutexMailbox[M] {
+func newMutexMailbox[M any](slots int, combine CombineFunc[M], check bool) *mutexMailbox[M] {
 	return &mutexMailbox[M]{
-		pushBuffers: newPushBuffers[M](slots, combine),
+		pushBuffers: newPushBuffers[M](slots, combine, check),
 		locks:       make([]sync.Mutex, slots),
 	}
 }
@@ -147,8 +182,9 @@ func (mb *mutexMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
 func (mb *mutexMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
-func (mb *mutexMailbox[M]) clearOutboxes()  {}
-func (mb *mutexMailbox[M]) usesPull() bool  { return false }
+func (mb *mutexMailbox[M]) clearOutboxes()      {}
+func (mb *mutexMailbox[M]) usesPull() bool      { return false }
+func (mb *mutexMailbox[M]) auditBarrier() error { return nil }
 func (mb *mutexMailbox[M]) footprintBytes() uint64 {
 	return mb.buffersBytes() + uint64(len(mb.locks))*mutexBytes
 }
@@ -161,9 +197,9 @@ type spinMailbox[M any] struct {
 	locks []spinLock
 }
 
-func newSpinMailbox[M any](slots int, combine CombineFunc[M]) *spinMailbox[M] {
+func newSpinMailbox[M any](slots int, combine CombineFunc[M], check bool) *spinMailbox[M] {
 	return &spinMailbox[M]{
-		pushBuffers: newPushBuffers[M](slots, combine),
+		pushBuffers: newPushBuffers[M](slots, combine, check),
 		locks:       make([]spinLock, slots),
 	}
 }
@@ -178,8 +214,9 @@ func (mb *spinMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
 func (mb *spinMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
-func (mb *spinMailbox[M]) clearOutboxes()  {}
-func (mb *spinMailbox[M]) usesPull() bool  { return false }
+func (mb *spinMailbox[M]) clearOutboxes()      {}
+func (mb *spinMailbox[M]) usesPull() bool      { return false }
+func (mb *spinMailbox[M]) auditBarrier() error { return nil }
 func (mb *spinMailbox[M]) footprintBytes() uint64 {
 	return mb.buffersBytes() + uint64(len(mb.locks))*spinLockBytes
 }
@@ -197,9 +234,9 @@ type pullMailbox[M any] struct {
 	shift          int
 }
 
-func newPullMailbox[M any](slots int, combine CombineFunc[M], g *graph.Graph, shift int) *pullMailbox[M] {
+func newPullMailbox[M any](slots int, combine CombineFunc[M], g *graph.Graph, shift int, check bool) *pullMailbox[M] {
 	return &pullMailbox[M]{
-		pushBuffers: newPushBuffers[M](slots, combine),
+		pushBuffers: newPushBuffers[M](slots, combine, check),
 		outbox:      make([]M, slots),
 		outFlag:     make([]uint8, slots),
 		g:           g,
@@ -226,8 +263,9 @@ func (mb *pullMailbox[M]) collectInto(slot int) {
 	}
 }
 
-func (mb *pullMailbox[M]) clearOutboxes() { clear(mb.outFlag) }
-func (mb *pullMailbox[M]) usesPull() bool { return true }
+func (mb *pullMailbox[M]) clearOutboxes()      { clear(mb.outFlag) }
+func (mb *pullMailbox[M]) usesPull() bool      { return true }
+func (mb *pullMailbox[M]) auditBarrier() error { return nil }
 
 func (mb *pullMailbox[M]) footprintBytes() uint64 {
 	var m M
@@ -239,15 +277,16 @@ func (mb *pullMailbox[M]) footprintBytes() uint64 {
 // fails when the version's assumptions do not hold for M (the atomic
 // combiner requires word-sized messages).
 func newMailbox[M any](cfg Config, slots int, combine CombineFunc[M], g *graph.Graph, shift int) (mailbox[M], error) {
+	check := cfg.CheckInvariants
 	switch cfg.Combiner {
 	case CombinerMutex:
-		return newMutexMailbox[M](slots, combine), nil
+		return newMutexMailbox[M](slots, combine, check), nil
 	case CombinerSpin:
-		return newSpinMailbox[M](slots, combine), nil
+		return newSpinMailbox[M](slots, combine, check), nil
 	case CombinerPull:
-		return newPullMailbox[M](slots, combine, g, shift), nil
+		return newPullMailbox[M](slots, combine, g, shift, check), nil
 	case CombinerAtomic:
-		return newAtomicMailbox[M](slots, combine)
+		return newAtomicMailbox[M](slots, combine, check)
 	}
 	return nil, fmt.Errorf("core: unknown combiner %v", cfg.Combiner)
 }

@@ -28,12 +28,27 @@ import (
 // virgin slot spin through it (bounded, then Gosched).
 type atomicMailbox[M any] struct {
 	combine CombineFunc[M]
-	// message payload bits, double-buffered like the locked push versions
-	now, next []uint64
-	// per-slot occupancy state (slotEmpty/slotBusy/slotFull)
-	stateNow, stateNext []uint32
+	// now holds the current superstep's payload bits; read single-threaded
+	// after the barrier, so plain access is the protocol.
+	now []uint64
+	// next collects this superstep's deliveries. Concurrent senders CAS
+	// its elements, so every element access must go through sync/atomic.
+	//
+	//ipregel:atomic
+	next []uint64
+	// stateNow is the current buffer's occupancy (slotEmpty/slotFull);
+	// barrier-ordered plain access, like now.
+	stateNow []uint32
+	// stateNext is the delivery-side occupancy state machine
+	// (slotEmpty/slotBusy/slotFull); element access must be atomic.
+	//
+	//ipregel:atomic
+	stateNext []uint32
 	// wide selects 8-byte bit conversion (4-byte otherwise)
 	wide bool
+	// check enables the delivery counters (Config.CheckInvariants).
+	check             bool
+	nCombines, nFills uint64
 }
 
 const (
@@ -55,7 +70,7 @@ func atomicWidth[M any]() (wide bool, err error) {
 	return false, fmt.Errorf("core: the atomic combiner packs each mailbox into one machine word and supports int32, uint32, float32, int64, uint64 and float64 messages; message type %T does not qualify — pick the mutex or spinlock combiner", zero)
 }
 
-func newAtomicMailbox[M any](slots int, combine CombineFunc[M]) (*atomicMailbox[M], error) {
+func newAtomicMailbox[M any](slots int, combine CombineFunc[M], check bool) (*atomicMailbox[M], error) {
 	wide, err := atomicWidth[M]()
 	if err != nil {
 		return nil, err
@@ -67,6 +82,7 @@ func newAtomicMailbox[M any](slots int, combine CombineFunc[M]) (*atomicMailbox[
 		stateNow:  make([]uint32, slots),
 		stateNext: make([]uint32, slots),
 		wide:      wide,
+		check:     check,
 	}, nil
 }
 
@@ -101,9 +117,11 @@ func (mb *atomicMailbox[M]) deliver(dst int, msg M) {
 				if newBits == oldBits {
 					// combine left the mailbox unchanged (e.g. min with a
 					// larger candidate): nothing to publish
+					mb.countCombine()
 					return
 				}
 				if atomic.CompareAndSwapUint64(word, oldBits, newBits) {
+					mb.countCombine()
 					return
 				}
 			}
@@ -111,6 +129,9 @@ func (mb *atomicMailbox[M]) deliver(dst int, msg M) {
 			if atomic.CompareAndSwapUint32(state, slotEmpty, slotBusy) {
 				atomic.StoreUint64(word, mb.bits(msg))
 				atomic.StoreUint32(state, slotFull)
+				if mb.check {
+					atomic.AddUint64(&mb.nFills, 1)
+				}
 				return
 			}
 		default: // slotBusy: the first deliverer is publishing its value
@@ -162,6 +183,34 @@ func (mb *atomicMailbox[M]) setOutbox(int, M) {
 func (mb *atomicMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
 func (mb *atomicMailbox[M]) clearOutboxes()  {}
 func (mb *atomicMailbox[M]) usesPull() bool  { return false }
+
+func (mb *atomicMailbox[M]) countCombine() {
+	if mb.check {
+		atomic.AddUint64(&mb.nCombines, 1)
+	}
+}
+
+func (mb *atomicMailbox[M]) deliveryCounts() (combines, fills uint64) {
+	return atomic.LoadUint64(&mb.nCombines), atomic.LoadUint64(&mb.nFills)
+}
+
+func (mb *atomicMailbox[M]) resetDeliveryCounts() {
+	atomic.StoreUint64(&mb.nCombines, 0)
+	atomic.StoreUint64(&mb.nFills, 0)
+}
+
+// auditBarrier verifies the per-slot state machine settled: once every
+// worker has joined the barrier, no slot may remain slotBusy — a busy slot
+// here means a deliverer won the empty→busy CAS and vanished before
+// publishing, which would hang the next superstep's senders.
+func (mb *atomicMailbox[M]) auditBarrier() error {
+	for i := range mb.stateNext {
+		if atomic.LoadUint32(&mb.stateNext[i]) == slotBusy {
+			return fmt.Errorf("atomic mailbox slot %d stuck in slotBusy at the barrier: a delivery won the empty slot but never published its value", i)
+		}
+	}
+	return nil
+}
 
 // footprintBytes: the value word is always 8 bytes (even for 4-byte
 // messages) plus a 4-byte state per slot and buffer — zero lock bytes, the

@@ -139,6 +139,7 @@ func TestAtomicMailboxWideAndNarrow(t *testing.T) {
 func TestAtomicCombinerRejectsOversizedMessage(t *testing.T) {
 	type wide struct{ a, b uint64 }
 	g := ringGraph(4, 0)
+	//ipregel:ignore msgword this test exercises exactly the construction error the analyzer predicts
 	_, err := New(g, Config{Combiner: CombinerAtomic}, Program[uint32, wide]{
 		Combine: func(old *wide, new wide) { old.a += new.a },
 		Compute: func(ctx *Context[uint32, wide], v Vertex[uint32, wide]) { ctx.VoteToHalt(v) },
@@ -267,7 +268,7 @@ func TestEdgeBalancedScheduleResults(t *testing.T) {
 	for _, comb := range []Combiner{CombinerMutex, CombinerSpin, CombinerAtomic} {
 		for _, threads := range []int{2, 5} {
 			for _, sc := range []bool{false, true} {
-				cfg := Config{Combiner: comb, Schedule: ScheduleEdgeBalanced, Threads: threads, SenderCombining: sc}
+				cfg := Config{Combiner: comb, Schedule: ScheduleEdgeBalanced, Threads: threads, SenderCombining: sc, CheckInvariants: true}
 				e, _, err := Run(g, cfg, counterProgram(4))
 				if err != nil {
 					t.Fatalf("%s: %v", cfg.VersionName(), err)
@@ -313,7 +314,7 @@ func TestAtomicEngineHotHubStress(t *testing.T) {
 	}
 	want *= 3 // three broadcasting supersteps
 	for _, sc := range []bool{false, true} {
-		cfg := Config{Combiner: CombinerAtomic, Threads: 8, SenderCombining: sc}
+		cfg := Config{Combiner: CombinerAtomic, Threads: 8, SenderCombining: sc, CheckInvariants: true}
 		e, rep, err := Run(g, cfg, prog)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.VersionName(), err)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+// TestNewConstructionErrors pins every validation path of New to a
+// distinct, recognisable message: a misconfiguration must fail at
+// construction, before any superstep runs, and each failure must tell the
+// user which module combination broke and what to use instead.
+func TestNewConstructionErrors(t *testing.T) {
+	okCompute := func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) { ctx.VoteToHalt(v) }
+	okCombine := func(old *uint32, msg uint32) { *old += msg }
+
+	noOut := func() *graph.Graph {
+		g, err := ringGraph(4, 0).WithInEdges().StripOutAdjacency()
+		if err != nil {
+			t.Fatalf("StripOutAdjacency: %v", err)
+		}
+		return g
+	}
+
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		cfg  Config
+		prog Program[uint32, uint32]
+		want string
+	}{
+		{
+			name: "nil Compute",
+			g:    ringGraph(4, 0),
+			prog: Program[uint32, uint32]{Combine: okCombine},
+			want: "Program.Compute is required",
+		},
+		{
+			name: "nil Combine",
+			g:    ringGraph(4, 0),
+			prog: Program[uint32, uint32]{Compute: okCompute},
+			want: "Program.Combine is required",
+		},
+		{
+			name: "pull combiner without in-edges",
+			g:    ringGraph(4, 0).StripInEdges(),
+			cfg:  Config{Combiner: CombinerPull},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "pull combiner fetches from in-neighbours",
+		},
+		{
+			name: "selection bypass without out-adjacency",
+			g:    noOut(),
+			cfg:  Config{SelectionBypass: true},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "selection bypass enrols out-neighbours",
+		},
+		{
+			name: "sender combining with pull combiner",
+			g:    ringGraph(4, 0).WithInEdges(),
+			cfg:  Config{Combiner: CombinerPull, SenderCombining: true},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "sender-side combining pre-combines push deliveries",
+		},
+		{
+			name: "unknown combiner",
+			g:    ringGraph(4, 0),
+			cfg:  Config{Combiner: Combiner(97)},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "unknown combiner",
+		},
+		{
+			name: "unknown addressing",
+			g:    ringGraph(4, 0),
+			cfg:  Config{Addressing: Addressing(97)},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "unknown addressing",
+		},
+		{
+			name: "direct addressing with non-zero base",
+			g:    ringGraph(4, 1),
+			cfg:  Config{Addressing: AddressDirect},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "direct mapping requires identifiers starting at 0",
+		},
+	}
+
+	seen := map[string]string{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.g, tc.cfg, tc.prog)
+			if err == nil {
+				t.Fatalf("New succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			// Each misconfiguration must be distinguishable from the
+			// others by message alone.
+			if prev, dup := seen[err.Error()]; dup {
+				t.Fatalf("error message %q duplicates case %q", err, prev)
+			}
+			seen[err.Error()] = tc.name
+		})
+	}
+}
+
+// TestAtomicConstructionErrorDistinct covers the remaining construction
+// path — CombinerAtomic with an ineligible message type — which needs its
+// own instantiation (see TestAtomicCombinerRejectsOversizedMessage for
+// the width check itself).
+func TestAtomicConstructionErrorDistinct(t *testing.T) {
+	type notWord struct{ a, b, c uint64 }
+	//ipregel:ignore msgword this test exercises exactly the construction error the analyzer predicts
+	_, err := New(ringGraph(4, 0), Config{Combiner: CombinerAtomic}, Program[uint32, notWord]{
+		Compute: func(ctx *Context[uint32, notWord], v Vertex[uint32, notWord]) { ctx.VoteToHalt(v) },
+		Combine: func(old *notWord, msg notWord) { old.a += msg.a },
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not qualify") {
+		t.Fatalf("want atomic-eligibility rejection naming the type, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "notWord") {
+		t.Fatalf("error should name the offending message type: %v", err)
+	}
+}

@@ -118,6 +118,9 @@ func ReadBinary(r io.Reader, opts Options) (*graph.Graph, error) {
 	if n > maxN || m > maxN*16 {
 		return nil, fmt.Errorf("graphio: implausible binary header n=%d m=%d", n, m)
 	}
+	if err := opts.checkCount(n); err != nil {
+		return nil, err
+	}
 
 	degreeBytes := make([]byte, n*4)
 	if _, err := io.ReadFull(br, degreeBytes); err != nil {
@@ -127,11 +130,11 @@ func ReadBinary(r io.Reader, opts Options) (*graph.Graph, error) {
 	applyOpts(&b, opts)
 	b.ForceN = int(n)
 	b.SetBase(base)
-	b.Grow(int(m))
+	b.Grow(opts.growHint(m))
 	var srcs, dsts []graph.VertexID
 	if weighted {
-		srcs = make([]graph.VertexID, 0, m)
-		dsts = make([]graph.VertexID, 0, m)
+		srcs = make([]graph.VertexID, 0, opts.growHint(m))
+		dsts = make([]graph.VertexID, 0, opts.growHint(m))
 	}
 
 	adjBuf := make([]byte, 4*4096)

@@ -1,0 +1,136 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+// The fuzz targets pin the parsers' error contract: arbitrary input must
+// produce (nil, error) or a graph that passes Validate — never a panic.
+// The parsers guard against hostile headers (a DIMACS problem line or
+// METIS header declaring billions of vertices must not allocate first and
+// ask questions later), and the fuzzers are how those guards earn trust.
+// Run at depth with `go test -fuzz FuzzReadEdgeList ./internal/graphio/`;
+// in normal `go test` runs only the seed corpus executes.
+
+// fuzzOptions is the option matrix each input is parsed under; the
+// invalid combination (KeepWeights+Dedup) is included deliberately — it
+// must fail cleanly too. Every entry sets MaxVertices: without the cap a
+// single header or identifier can legally demand gigabytes (the CSR
+// builder sizes arrays from declared counts and maximum ids), which is
+// exactly the attack MaxVertices exists to stop — and what would OOM the
+// fuzzer.
+var fuzzOptions = []Options{
+	{MaxVertices: 1 << 16},
+	{Undirected: true, BuildInEdges: true, MaxVertices: 1 << 16},
+	{Dedup: true, MaxVertices: 1 << 16},
+	{KeepWeights: true, MaxVertices: 1 << 16},
+	{KeepWeights: true, Dedup: true, MaxVertices: 1 << 16},
+}
+
+func fuzzRead(t *testing.T, format Format, data []byte) {
+	for _, opts := range fuzzOptions {
+		g, err := Read(bytes.NewReader(data), format, opts)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("%v/%+v: non-nil graph alongside error %v", format, opts, err)
+			}
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v/%+v: parser accepted input but built a corrupt graph: %v", format, opts, err)
+		}
+	}
+}
+
+// TestMaxVerticesGuards pins the header/identifier bombs the fuzzers
+// would otherwise find by exhausting memory: each hostile input must be
+// rejected by the MaxVertices cap before any size is trusted.
+func TestMaxVerticesGuards(t *testing.T) {
+	capped := Options{MaxVertices: 1000}
+	cases := []struct {
+		name   string
+		format Format
+		data   string
+	}{
+		{"edge list huge id", FormatEdgeList, "4294967295 0\n"},
+		{"KONECT huge id", FormatKONECT, "% asym\n1 4000000000\n"},
+		{"DIMACS huge n", FormatDIMACS, "p sp 2000000000 1\na 1 2 1\n"},
+		{"METIS huge n", FormatMETIS, "2000000000 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Read(bytes.NewReader([]byte(tc.data)), tc.format, capped)
+			if err == nil {
+				t.Fatalf("parser accepted input implying %d+ vertices despite MaxVertices=1000 (n=%d)", 2000000000, g.N())
+			}
+		})
+	}
+}
+
+// TestDIMACSRejectsHostileHeaders covers guards that hold even without a
+// MaxVertices cap: negative counts and identifiers beyond 32 bits must
+// fail instead of wrapping.
+func TestDIMACSRejectsHostileHeaders(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("p sp -5 0\n")), FormatDIMACS, Options{}); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("p sp 3 1\na 4294967297 2 1\n")), FormatDIMACS, Options{}); err == nil {
+		t.Fatal("64-bit arc identifier silently truncated instead of rejected")
+	}
+	if _, err := Read(bytes.NewReader([]byte("-3 1\n")), FormatMETIS, Options{}); err == nil {
+		t.Fatal("negative METIS vertex count accepted")
+	}
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("# comment\n0 1\n1 2\n2 0\n"))
+	f.Add([]byte("0 1 7\n1 0 3\n"))
+	f.Add([]byte("% other comment style\n4294967295 0\n"))
+	f.Add([]byte("0\n"))
+	f.Add([]byte("a b\n"))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatEdgeList, data) })
+}
+
+func FuzzReadKONECT(f *testing.F) {
+	f.Add([]byte("% sym\n1 2\n2 3\n"))
+	f.Add([]byte("% asym\n1 2 1 1234567890\n"))
+	f.Add([]byte("% bip\n1 2\n"))
+	f.Add([]byte("1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatKONECT, data) })
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add([]byte("c comment\np sp 3 2\na 1 2 10\na 2 3 20\n"))
+	f.Add([]byte("p sp 0 0\n"))
+	f.Add([]byte("p sp 99999999999999999999 1\na 1 1 1\n"))
+	f.Add([]byte("a 1 2 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatDIMACS, data) })
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add([]byte("3 2\n2 3\n1\n1\n"))
+	f.Add([]byte("2 1 001\n2 1\n1 1\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("1 0\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatMETIS, data) })
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	var b graph.Builder
+	b.BuildInEdges()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	if err := WriteBinary(&buf, b.MustBuild()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2]) // truncated
+	f.Add([]byte{})
+	f.Add([]byte("IPGR"))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatBinary, data) })
+}

@@ -107,6 +107,15 @@ type Options struct {
 	// third column of an edge list); edges without a weight column get
 	// weight 1. Incompatible with Undirected and Dedup.
 	KeepWeights bool
+	// MaxVertices rejects inputs that declare or reference more than this
+	// many vertices (0 = no limit). The CSR builder sizes its arrays from
+	// header counts and from the largest identifier seen, so a few hostile
+	// header bytes (a DIMACS problem line, a METIS header, a binary n
+	// field) or one absurd identifier can demand multi-gigabyte
+	// allocations; with the cap set, parsers check those values before
+	// sizing anything from them and return an error instead. Set this
+	// whenever the input is untrusted; the fuzz harness always does.
+	MaxVertices uint64
 }
 
 func (o Options) validate() error {
@@ -114,6 +123,37 @@ func (o Options) validate() error {
 		return fmt.Errorf("graphio: KeepWeights cannot be combined with Undirected or Dedup")
 	}
 	return nil
+}
+
+// checkCount validates a header-declared vertex count against MaxVertices.
+func (o Options) checkCount(n uint64) error {
+	if o.MaxVertices > 0 && n > o.MaxVertices {
+		return fmt.Errorf("graphio: input declares %d vertices, above Options.MaxVertices (%d)", n, o.MaxVertices)
+	}
+	return nil
+}
+
+// checkID validates one vertex identifier against MaxVertices.
+func (o Options) checkID(id graph.VertexID) error {
+	if o.MaxVertices > 0 && uint64(id) > o.MaxVertices {
+		return fmt.Errorf("graphio: vertex identifier %d exceeds Options.MaxVertices (%d)", id, o.MaxVertices)
+	}
+	return nil
+}
+
+// growHint bounds a header-declared edge count before it is trusted as a
+// pre-allocation size: with MaxVertices set, a lying header buys at most
+// a MaxVertices-sized reservation (appends still grow as needed, and the
+// declared/actual mismatch is reported after parsing).
+func (o Options) growHint(m uint64) int {
+	if o.MaxVertices > 0 && m > o.MaxVertices {
+		m = o.MaxVertices
+	}
+	const maxHint = 1 << 31
+	if m > maxHint {
+		m = maxHint
+	}
+	return int(m)
 }
 
 // Read parses a graph of the given format from r.

@@ -53,11 +53,17 @@ func ReadMETIS(r io.Reader, opts Options) (*graph.Graph, error) {
 	if _, err := fmt.Sscanf(header, "%d %d", &n, &m); err != nil {
 		return nil, fmt.Errorf("graphio: METIS header %q: %w", header, err)
 	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: METIS header declares negative vertex count %d", n)
+	}
+	if err := opts.checkCount(uint64(n)); err != nil {
+		return nil, err
+	}
 	var b graph.Builder
 	applyOpts(&b, opts)
 	b.ForceN = n
 	b.SetBase(1)
-	b.Grow(int(2 * m))
+	b.Grow(opts.growHint(2 * m))
 	var total uint64
 	for u := 1; u <= n; u++ {
 		text, ok := next()

@@ -30,6 +30,9 @@ func readEdgeList(r io.Reader, opts Options) (*graph.Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graphio: edge list line %d: %w", line, err)
 			}
+			if err := firstErr(opts.checkID(src), opts.checkID(dst)); err != nil {
+				return nil, fmt.Errorf("graphio: edge list line %d: %w", line, err)
+			}
 			wb.AddEdge(src, dst, w)
 		}
 		if err := sc.Err(); err != nil {
@@ -51,12 +54,25 @@ func readEdgeList(r io.Reader, opts Options) (*graph.Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graphio: edge list line %d: %w", line, err)
 		}
+		if err := firstErr(opts.checkID(src), opts.checkID(dst)); err != nil {
+			return nil, fmt.Errorf("graphio: edge list line %d: %w", line, err)
+		}
 		b.AddEdge(src, dst)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return b.Build()
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readKONECT parses the KONECT TSV format. The first '%' header line may
@@ -85,6 +101,9 @@ func readKONECT(r io.Reader, opts Options) (*graph.Graph, error) {
 		}
 		src, dst, err := parseEdge(text)
 		if err != nil {
+			return nil, fmt.Errorf("graphio: KONECT line %d: %w", line, err)
+		}
+		if err := firstErr(opts.checkID(src), opts.checkID(dst)); err != nil {
 			return nil, fmt.Errorf("graphio: KONECT line %d: %w", line, err)
 		}
 		b.AddEdge(src, dst)
@@ -135,14 +154,20 @@ func readDIMACS(r io.Reader, opts Options) (*graph.Graph, error) {
 			if _, err := fmt.Sscanf(text, "p %s %d %d", &kind, &declaredN, &declaredM); err != nil {
 				return nil, fmt.Errorf("graphio: DIMACS line %d: bad problem line: %w", line, err)
 			}
+			if declaredN < 0 {
+				return nil, fmt.Errorf("graphio: DIMACS line %d: negative vertex count %d", line, declaredN)
+			}
+			if err := opts.checkCount(uint64(declaredN)); err != nil {
+				return nil, fmt.Errorf("graphio: DIMACS line %d: %w", line, err)
+			}
 			if opts.KeepWeights {
 				wb.ForceN(declaredN)
 				wb.SetBase(1)
-				wb.Grow(int(declaredM))
+				wb.Grow(opts.growHint(declaredM))
 			} else {
 				b.ForceN = declaredN
 				b.SetBase(1)
-				b.Grow(int(declaredM))
+				b.Grow(opts.growHint(declaredM))
 			}
 		case 'a':
 			if !seenP {
@@ -151,6 +176,12 @@ func readDIMACS(r io.Reader, opts Options) (*graph.Graph, error) {
 			var s, d, w uint64
 			if _, err := fmt.Sscanf(text, "a %d %d %d", &s, &d, &w); err != nil {
 				return nil, fmt.Errorf("graphio: DIMACS line %d: bad arc: %w", line, err)
+			}
+			if s > uint64(^graph.VertexID(0)) || d > uint64(^graph.VertexID(0)) {
+				return nil, fmt.Errorf("graphio: DIMACS line %d: identifier overflows 32-bit vertex ids", line)
+			}
+			if err := firstErr(opts.checkID(graph.VertexID(s)), opts.checkID(graph.VertexID(d))); err != nil {
+				return nil, fmt.Errorf("graphio: DIMACS line %d: %w", line, err)
 			}
 			if opts.KeepWeights {
 				wb.AddEdge(graph.VertexID(s), graph.VertexID(d), uint32(w))
