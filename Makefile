@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet build test race fuzz bench
+.PHONY: check vet ipregel-vet build test race fuzz bench telemetry-smoke
 check: vet ipregel-vet build test race
 
 vet:
@@ -24,7 +24,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/algorithms/...
+	$(GO) test -race ./internal/core/... ./internal/algorithms/... ./internal/telemetry/...
+
+# End-to-end check of the live telemetry layer: run a small PageRank
+# with -telemetry/-trace on, scrape /metrics, expvar and pprof, and
+# validate + replay the JSONL trace through ipregel-trace.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Short fuzz pass over every graph parser; `error, never panic` on
 # arbitrary bytes. Lengthen FUZZTIME for a deeper run.

@@ -19,6 +19,8 @@ import (
 	"os"
 
 	"ipregel/internal/bench"
+	"ipregel/internal/core"
+	"ipregel/internal/telemetry"
 )
 
 func main() {
@@ -40,9 +42,22 @@ func run(args []string, out io.Writer) error {
 		quick   = fs.Bool("quick", false, "fewer repetitions and smaller sweeps")
 		rounds  = fs.Int("pagerank-rounds", 0, "PageRank iterations (default 30, as in the paper)")
 		csvDir  = fs.String("csv", "", "also write figure data series as CSV files into this directory")
+		telAddr = fs.String("telemetry", "", "serve live /metrics, expvar and /debug/pprof on this address (e.g. :8080) while experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var observers []core.Observer
+	if *telAddr != "" {
+		c := telemetry.NewCollector()
+		srv, err := telemetry.Serve(*telAddr, c)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: serving /metrics, /debug/vars and /debug/pprof on %s\n", srv.Addr)
+		observers = append(observers, c)
 	}
 
 	if *list {
@@ -52,7 +67,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	o := &bench.Options{Divisor: *divisor, Threads: *threads, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir}
+	o := &bench.Options{Divisor: *divisor, Threads: *threads, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
 	switch {
 	case *all:
 		return bench.RunAll(o, out)

@@ -29,6 +29,7 @@ import (
 	"ipregel/internal/graphio"
 	"ipregel/internal/memmodel"
 	"ipregel/internal/pregelplus"
+	"ipregel/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +58,9 @@ func run(args []string, out io.Writer) error {
 		source    = fs.Uint("source", 2, "SSSP/BFS source vertex identifier")
 		nodes     = fs.Int("nodes", 1, "pregelplus: simulated node count")
 		verbose   = fs.Bool("v", false, "print per-superstep statistics")
+		telAddr   = fs.String("telemetry", "", "serve live /metrics, expvar and /debug/pprof on this address (e.g. :8080) during the run")
+		telHold   = fs.Duration("telemetry-hold", 0, "keep the telemetry endpoint up this long after the run (for scrapers)")
+		traceOut  = fs.String("trace", "", "stream per-superstep JSONL trace events to this file ('-' for stdout; replay with ipregel-trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +101,32 @@ func run(args []string, out io.Writer) error {
 		SenderCombining: *combining,
 		SelectionBypass: *bypass,
 		Threads:         *threads,
+	}
+
+	// Telemetry sinks observe the engine via Config.Observers; all hooks
+	// fire at superstep barriers on the coordinating goroutine.
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, telemetryCollector())
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(out, "telemetry: serving /metrics, /debug/vars and /debug/pprof on %s\n", srv.Addr)
+		defer func() {
+			if *telHold > 0 {
+				fmt.Fprintf(out, "telemetry: holding %s on %v for scrapers\n", srv.Addr, *telHold)
+				time.Sleep(*telHold)
+			}
+			srv.Close()
+		}()
+		cfg.Observers = append(cfg.Observers, telemetryCollector())
+	}
+	if *traceOut != "" {
+		w, closeTrace, err := openTraceSink(*traceOut, out)
+		if err != nil {
+			return err
+		}
+		defer closeTrace()
+		cfg.Observers = append(cfg.Observers, w)
 	}
 
 	var rep core.Report
@@ -170,6 +200,11 @@ func run(args []string, out io.Writer) error {
 		}
 	})
 	if err != nil {
+		if rep.Aborted {
+			// Print the (consistent) partial report so an aborted run's
+			// statistics are not lost with the error.
+			fmt.Fprintln(out, rep)
+		}
 		return err
 	}
 	fmt.Fprintln(out, rep)
@@ -268,4 +303,29 @@ func countReached(dist []uint32) int {
 		}
 	}
 	return n
+}
+
+// sharedCollector is the process-wide metrics collector: the -telemetry
+// server and the engine observers must share one instance so /metrics
+// reflects the run in progress.
+var sharedCollector = telemetry.NewCollector()
+
+func telemetryCollector() *telemetry.Collector { return sharedCollector }
+
+// openTraceSink resolves the -trace destination: a file path, or '-'
+// for the run's own output stream.
+func openTraceSink(path string, out io.Writer) (*telemetry.TraceWriter, func(), error) {
+	if path == "-" {
+		tw := telemetry.NewTraceWriter(out)
+		return tw, func() { _ = tw.Flush() }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tw := telemetry.NewTraceWriter(f)
+	return tw, func() {
+		_ = tw.Flush()
+		_ = f.Close()
+	}, nil
 }

@@ -1,0 +1,88 @@
+// Command ipregel-trace validates and summarises the JSONL superstep
+// traces the telemetry layer emits (ipregel-run -trace, or any
+// telemetry.TraceWriter sink): it checks every line against the trace
+// schema, replays the events into the run's report, and renders the
+// same summary line and per-superstep table the live run printed — so a
+// trace file is a complete, replayable record of a run's §7-style
+// statistics.
+//
+// Usage:
+//
+//	ipregel-trace run.jsonl            # validate + summary + table
+//	ipregel-trace -validate run.jsonl  # validate only (CI gate)
+//	ipregel-run ... -trace - | ipregel-trace   # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ipregel/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ipregel-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ipregel-trace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		validate = fs.Bool("validate", false, "only validate the trace against the schema; print event counts")
+		table    = fs.Bool("table", true, "print the replayed per-superstep table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader
+	switch name := fs.Arg(0); {
+	case name == "" || name == "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	events, err := telemetry.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	if *validate {
+		counts := map[string]int{}
+		for _, ev := range events {
+			counts[ev.Type]++
+		}
+		fmt.Fprintf(out, "valid %s: %d events (%d supersteps, %d run_start, %d abort, %d run_end)\n",
+			telemetry.TraceSchema, len(events),
+			counts[telemetry.EventSuperstep], counts[telemetry.EventRunStart],
+			counts[telemetry.EventAbort], counts[telemetry.EventRunEnd])
+		return nil
+	}
+
+	rep, err := telemetry.ReplayReport(events)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	if rep.Converged {
+		fmt.Fprintf(out, "converged after %d supersteps in %v\n", rep.Supersteps, rep.Duration.Round(time.Microsecond))
+	}
+	if im := rep.LoadImbalance(); im > 0 {
+		fmt.Fprintf(out, "load imbalance (max/mean worker busy): %.3f\n", im)
+	}
+	if *table {
+		fmt.Fprint(out, rep.Table())
+	}
+	return nil
+}

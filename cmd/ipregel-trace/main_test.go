@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+	"ipregel/internal/telemetry"
+)
+
+// writeTrace runs a small flood to completion with a TraceWriter sink
+// and returns the JSONL path plus the live report for comparison.
+func writeTrace(t *testing.T) (string, core.Report) {
+	t.Helper()
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 0; i < 16; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%16))
+	}
+	g := b.MustBuild()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := telemetry.NewTraceWriter(f)
+	prog := core.Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *core.Context[uint32, uint32], v core.Vertex[uint32, uint32]) {
+			if ctx.Superstep() < 3 {
+				ctx.Broadcast(v, 1)
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+	_, rep, err := core.Run(g, core.Config{Observers: []core.Observer{tw}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rep
+}
+
+func TestReplaySummaryAndTable(t *testing.T) {
+	path, rep := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The replay reproduces the live run's one-line summary and table.
+	if !strings.Contains(got, rep.String()) {
+		t.Fatalf("summary missing:\n%s\nwant line %q", got, rep.String())
+	}
+	if !strings.Contains(got, rep.Table()) {
+		t.Fatalf("table missing:\n%s\nwant:\n%s", got, rep.Table())
+	}
+	if !strings.Contains(got, "converged") {
+		t.Fatalf("convergence line missing:\n%s", got)
+	}
+}
+
+func TestValidateOnly(t *testing.T) {
+	path, rep := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "valid ipregel-trace/1") {
+		t.Fatalf("validation verdict missing:\n%s", got)
+	}
+	if !strings.Contains(got, "(4 supersteps, 1 run_start, 0 abort, 1 run_end)") {
+		t.Fatalf("event counts wrong for %d-step run:\n%s", rep.Supersteps, got)
+	}
+	if strings.Contains(got, "superstep ") {
+		t.Fatalf("-validate printed the table:\n%s", got)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

@@ -46,6 +46,11 @@ type Options struct {
 	// CSVDir, when set, makes the figure experiments also write their data
 	// series as <CSVDir>/<experiment>.csv for external plotting.
 	CSVDir string
+	// Observers are attached to every iPregel engine the experiments
+	// build (the cmd/ipregel-bench -telemetry flag routes a live
+	// telemetry.Collector through here), so long sweeps expose the same
+	// /metrics view as single ipregel-run invocations.
+	Observers []core.Observer
 
 	cache map[string]*graph.Graph
 }
@@ -99,6 +104,7 @@ func (o *Options) Graph(name string) (*graph.Graph, error) {
 
 func (o *Options) engineConfig(cfg core.Config) core.Config {
 	cfg.Threads = o.Threads
+	cfg.Observers = append(cfg.Observers, o.Observers...)
 	return cfg
 }
 

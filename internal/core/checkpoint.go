@@ -117,7 +117,10 @@ func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) er
 
 // Restore rebuilds an engine from a checkpoint taken with the same graph,
 // configuration and program, ready for Run to continue from the saved
-// barrier. Run's Report then covers only the resumed supersteps.
+// barrier. Run's Report then covers only the resumed supersteps, with
+// Report.FirstSuperstep carrying the absolute superstep base so the
+// resumed Steps indices and observer events continue the original run's
+// numbering.
 func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, M], vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
 	e, err := New(g, cfg, prog)
 	if err != nil {
@@ -136,6 +139,12 @@ func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, 
 		return nil, fmt.Errorf("core: checkpoint header: %w", err)
 	}
 	e.superstep = int(binary.LittleEndian.Uint64(hdr[0:]))
+	// Carry the absolute superstep base: observer events and the Report's
+	// Steps indices from the resumed run continue the original numbering
+	// (Report.FirstSuperstep) instead of silently restarting at 0. The
+	// header's superstep counter is itself absolute, so a checkpoint of a
+	// resumed run chains correctly through further resumes.
+	e.firstSuperstep = e.superstep
 	slots := int(binary.LittleEndian.Uint64(hdr[8:]))
 	if slots != e.slots {
 		return nil, fmt.Errorf("core: checkpoint has %d slots, engine has %d (graph or addressing mismatch)", slots, e.slots)

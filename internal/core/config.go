@@ -223,6 +223,15 @@ type Config struct {
 	// which mirrors the paper's OpenMP fork-join loops). Results are
 	// identical; see BenchmarkWorkerPool for the cost comparison.
 	PersistentWorkers bool
+	// Observers are lifecycle sinks registered at construction, ahead of
+	// any added later with Engine.AddObserver. Carrying them in Config
+	// lets callers that build engines indirectly (the algorithms helpers,
+	// the bench harness) attach telemetry without new plumbing; the
+	// engine notifies them at every superstep barrier and on every exit
+	// path (see the Observer ordering contract). All hooks fire on the
+	// coordinating goroutine, outside the parallel phases, so an empty
+	// list costs nothing on the hot path.
+	Observers []Observer
 }
 
 // VersionName returns the short name used in Fig. 7's legend, e.g.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/trace"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,7 +45,7 @@ type Engine[V, M any] struct {
 	//
 	//ipregel:atomic
 	inNext       []uint32
-	frontier     []int32  // slots to run this superstep
+	frontier     []int32 // slots to run this superstep
 	frontierNext []int32
 	gatherOffs   []int   // per-worker frontier copy offsets (gatherFrontier)
 	auditSeen    []uint8 // slot-indexed scratch for the bypass audit
@@ -58,11 +59,20 @@ type Engine[V, M any] struct {
 	agg        *aggregators
 	busy       []time.Duration // per-worker busy time this superstep (TrackWorkerTime)
 	checkpoint *Checkpointer[V, M]
-	observer   func(superstep int, s StepStats)
+	observers  []Observer
 	pool       *workerPool
 
 	superstep int
-	report    Report
+	// firstSuperstep is the absolute number of the first superstep this
+	// engine executes: 0 for a fresh engine, the checkpoint barrier for a
+	// Restored one. It keeps superstep numbering (observer events, the
+	// Report's Steps indices) globally consistent across resumes.
+	firstSuperstep int
+	// casRetriesSeen is the cumulative mailbox contention-retry count
+	// already attributed to earlier supersteps (StepStats.CASRetries is
+	// the per-superstep delta).
+	casRetriesSeen uint64
+	report         Report
 
 	ran      bool
 	panicked atomic.Value // first recovered panic, if any
@@ -132,6 +142,7 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 	if cfg.TrackWorkerTime {
 		e.busy = make([]time.Duration, e.threads)
 	}
+	e.observers = append([]Observer(nil), cfg.Observers...)
 	return e, nil
 }
 
@@ -145,12 +156,20 @@ func (e *Engine[V, M]) Run() (Report, error) {
 // every superstep barrier, and a cancelled run returns ctx's error with
 // the statistics gathered so far. Combine with a checkpointer to make
 // long computations resumable after an operator-initiated stop.
+//
+// Every exit path — convergence, cancellation, ErrMaxSupersteps, a
+// contained compute panic, ErrBypassViolation, an *InvariantError, a
+// checkpoint failure — goes through the same sealing step, so the
+// returned Report is always internally consistent (TotalMessages equals
+// the sum over Steps, Duration covers exactly the recorded supersteps)
+// and the registered Observers see the full lifecycle.
 func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 	if e.ran {
 		return Report{}, errors.New("core: engine already ran")
 	}
 	e.ran = true
 	e.report.Version = e.cfg.VersionName()
+	e.report.FirstSuperstep = e.firstSuperstep
 	start := time.Now()
 	if e.cfg.PersistentWorkers && e.threads > 1 {
 		e.pool = newWorkerPool(e.threads)
@@ -162,14 +181,13 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 
 	for {
 		if err := ctx.Err(); err != nil {
-			e.report.Duration = time.Since(start)
-			return e.report, fmt.Errorf("core: run cancelled at superstep %d: %w", e.superstep, err)
+			return e.finishRun(start, fmt.Errorf("core: run cancelled at superstep %d: %w", e.superstep, err))
 		}
 		if e.cfg.MaxSupersteps > 0 && e.superstep >= e.cfg.MaxSupersteps {
-			e.report.Duration = time.Since(start)
-			return e.report, fmt.Errorf("%w (%d)", ErrMaxSupersteps, e.cfg.MaxSupersteps)
+			return e.finishRun(start, fmt.Errorf("%w (%d)", ErrMaxSupersteps, e.cfg.MaxSupersteps))
 		}
 		stepStart := time.Now()
+		e.observeSuperstepStart(e.superstep)
 		for _, w := range e.workers {
 			w.resetSuperstep()
 		}
@@ -177,65 +195,48 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			clear(e.busy)
 		}
 
-		ranTotal := e.computePhase()
+		var ranTotal int64
+		region(ctx, "ipregel.compute", func() { ranTotal = e.computePhase() })
 		if e.cfg.SenderCombining {
-			e.drainSenderCaches()
+			region(ctx, "ipregel.drain", e.drainSenderCaches)
 		}
 
 		if e.cfg.SelectionBypass {
-			e.gatherFrontier()
+			region(ctx, "ipregel.gather", e.gatherFrontier)
 		}
 		if e.mb.usesPull() {
-			e.collectPhase()
-			e.mb.clearOutboxes()
+			region(ctx, "ipregel.collect", func() {
+				e.collectPhase()
+				e.mb.clearOutboxes()
+			})
 		}
 		if e.cfg.CheckInvariants {
 			if err := e.auditInvariants(); err != nil {
-				e.report.Duration = time.Since(start)
-				return e.report, err
+				// The superstep never reached the buffer swap: record what
+				// the workers had done as a partial step so the report's
+				// totals match the engine's actual activity.
+				e.recordStep(e.gatherStepStats(stepStart, ranTotal, true))
+				return e.finishRun(start, err)
 			}
 		}
-		e.mb.swap()
-		if !e.agg.empty() {
-			e.agg.barrier()
-		}
+		region(ctx, "ipregel.barrier", func() {
+			e.mb.swap()
+			if !e.agg.empty() {
+				e.agg.barrier()
+			}
+		})
 		if p := e.panicked.Load(); p != nil {
-			e.report.Duration = time.Since(start)
-			return e.report, fmt.Errorf("core: compute panicked at superstep %d: %v", e.superstep, p)
+			e.recordStep(e.gatherStepStats(stepStart, ranTotal, true))
+			return e.finishRun(start, fmt.Errorf("core: compute panicked at superstep %d: %v", e.superstep, p))
 		}
 
-		var msgs, localCombines uint64
-		var votes int64
-		for _, w := range e.workers {
-			msgs += w.msgs
-			votes += w.votes
-			if w.cache != nil {
-				localCombines += w.cache.combined
-			}
-		}
-		activeAfter := ranTotal - votes
-
-		step := StepStats{
-			Ran:           ranTotal,
-			Messages:      msgs,
-			Active:        activeAfter,
-			LocalCombines: localCombines,
-			Duration:      time.Since(stepStart),
-		}
-		if e.busy != nil {
-			step.WorkerBusy = append([]time.Duration(nil), e.busy...)
-		}
-		e.report.Steps = append(e.report.Steps, step)
-		if e.observer != nil {
-			e.observer(e.superstep, step)
-		}
-		e.report.TotalMessages += msgs
-		e.report.TotalLocalCombines += localCombines
+		step := e.gatherStepStats(stepStart, ranTotal, false)
+		e.recordStep(step)
+		activeAfter := step.Active
 
 		if e.cfg.SelectionBypass {
 			if activeAfter > 0 {
-				e.report.Duration = time.Since(start)
-				return e.report, ErrBypassViolation
+				return e.finishRun(start, ErrBypassViolation)
 			}
 			e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
 			// Reset the dedup flags of the (new) current frontier so the
@@ -245,25 +246,107 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			}
 			if e.cfg.CheckBypass || e.cfg.CheckInvariants {
 				if err := e.auditBypass(); err != nil {
-					e.report.Duration = time.Since(start)
-					return e.report, err
+					return e.finishRun(start, err)
 				}
 			}
 		}
 
 		e.superstep++
 		if err := e.maybeCheckpoint(); err != nil {
-			e.report.Duration = time.Since(start)
-			return e.report, err
+			return e.finishRun(start, err)
 		}
-		if msgs == 0 && activeAfter == 0 {
+		if step.Messages == 0 && activeAfter == 0 {
 			break
 		}
 	}
-	e.report.Supersteps = e.superstep
+	return e.finishRun(start, nil)
+}
+
+// gatherStepStats merges the workers' per-superstep counters into one
+// StepStats record. It runs single-threaded at the barrier (all workers
+// have joined), on the completed-superstep path and on the two abort
+// paths that stop mid-superstep (partial=true: a contained compute
+// panic, an invariant violation).
+func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial bool) StepStats {
+	var msgs, localCombines uint64
+	var votes int64
+	for _, w := range e.workers {
+		msgs += w.msgs
+		votes += w.votes
+		if w.cache != nil {
+			localCombines += w.cache.combined
+		}
+	}
+	step := StepStats{
+		Ran:           ran,
+		Messages:      msgs,
+		Active:        ran - votes,
+		LocalCombines: localCombines,
+		Duration:      time.Since(stepStart),
+		Partial:       partial,
+	}
+	if retries := e.mb.contentionRetries(); retries > e.casRetriesSeen {
+		step.CASRetries = retries - e.casRetriesSeen
+		e.casRetriesSeen = retries
+	}
+	if e.cfg.SelectionBypass {
+		step.NextFrontier = int64(len(e.frontierNext))
+	}
+	if e.busy != nil {
+		step.WorkerBusy = append([]time.Duration(nil), e.busy...)
+	}
+	return step
+}
+
+// recordStep appends one superstep record, folds it into the run totals
+// and notifies the observers — the single bookkeeping point shared by
+// the completed-superstep path and the mid-superstep abort paths.
+func (e *Engine[V, M]) recordStep(step StepStats) {
+	e.report.Steps = append(e.report.Steps, step)
+	e.report.TotalMessages += step.Messages
+	e.report.TotalLocalCombines += step.LocalCombines
+	e.observeSuperstepEnd(e.superstep, step)
+}
+
+// finishRun seals the report on every exit path: Supersteps, Duration
+// and the converged/aborted marker are always set, OnAbort fires exactly
+// once on aborted runs, and OnRunEnd fires exactly once per run, last.
+func (e *Engine[V, M]) finishRun(start time.Time, err error) (Report, error) {
+	completed := 0
+	for _, s := range e.report.Steps {
+		if !s.Partial {
+			completed++
+		}
+	}
+	e.report.Supersteps = e.firstSuperstep + completed
 	e.report.Duration = time.Since(start)
-	e.report.Converged = true
-	return e.report, nil
+	if err != nil {
+		e.report.Aborted = true
+		e.report.AbortReason = err.Error()
+		for _, o := range e.observers {
+			o.OnAbort(e.superstep, e.report.AbortReason, err)
+		}
+	} else {
+		e.report.Converged = true
+	}
+	for _, o := range e.observers {
+		o.OnRunEnd(e.report, err)
+	}
+	return e.report, err
+}
+
+// region wraps one engine phase in a runtime/trace region so that phase
+// boundaries (compute, drain, gather, collect, barrier) show up in `go
+// tool trace` output whenever tracing is active — a `go test -trace`
+// run, trace.Start, or the /debug/pprof/trace endpoint the telemetry
+// layer serves. With tracing off the guard is one atomic load per phase
+// per superstep; nothing is added to the per-vertex hot path.
+func region(ctx context.Context, name string, f func()) {
+	if trace.IsEnabled() {
+		trace.WithRegion(ctx, name, f)
+		return
+	}
+	f()
 }
 
 // computePhase runs IP_compute over the selected vertices and returns how
@@ -547,18 +630,6 @@ func edgeBalancedCuts(g *graph.Graph, t int) []int32 {
 		}
 	}
 	return cuts
-}
-
-// Observe installs a callback invoked after every superstep barrier with
-// that superstep's statistics — live progress for long computations (the
-// USA-road Hashmin runs of §7.3 take the paper almost an hour). Call
-// before Run; the callback runs on the coordinating goroutine.
-func (e *Engine[V, M]) Observe(fn func(superstep int, s StepStats)) error {
-	if e.ran {
-		return errors.New("core: cannot observe after Run")
-	}
-	e.observer = fn
-	return nil
 }
 
 // Value returns the final user value of the vertex with external

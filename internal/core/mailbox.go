@@ -64,6 +64,13 @@ type mailbox[M any] interface {
 	deliveryCounts() (combines, fills uint64)
 	// resetDeliveryCounts zeroes the counters at the superstep barrier.
 	resetDeliveryCounts()
+	// contentionRetries returns the cumulative count of failed
+	// compare-and-swap attempts in delivery (the atomic combiner's
+	// value-word combine retries and lost empty-slot claims) — the live
+	// contention signal StepStats.CASRetries exposes per superstep.
+	// Always 0 for the lock-based and pull combiners, whose waiting
+	// happens inside locks rather than CAS retry loops.
+	contentionRetries() uint64
 	// auditBarrier verifies implementation-specific barrier invariants
 	// (e.g. the atomic mailbox's state machine holds no slot mid-
 	// publication once all workers have joined). Called single-threaded
@@ -80,7 +87,7 @@ type pushBuffers[M any] struct {
 	// check enables the delivery counters (Config.CheckInvariants).
 	// Increments use sync/atomic: depositLocked holds only the target
 	// slot's lock, so deposits to different slots race on the counters.
-	check            bool
+	check             bool
 	nCombines, nFills uint64
 }
 
@@ -103,6 +110,10 @@ func (b *pushBuffers[M]) resetDeliveryCounts() {
 	atomic.StoreUint64(&b.nCombines, 0)
 	atomic.StoreUint64(&b.nFills, 0)
 }
+
+// contentionRetries: the lock-based and pull combiners have no CAS retry
+// loops; their contention shows up as lock wait time instead.
+func (b *pushBuffers[M]) contentionRetries() uint64 { return 0 }
 
 func (b *pushBuffers[M]) take(slot int, m *M) bool {
 	if b.hasNow[slot] == 0 {
@@ -181,7 +192,7 @@ func (mb *mutexMailbox[M]) deliver(dst int, msg M) {
 func (mb *mutexMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
-func (mb *mutexMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
+func (mb *mutexMailbox[M]) collectInto(int)     { panic("core: collect phase used with a push combiner") }
 func (mb *mutexMailbox[M]) clearOutboxes()      {}
 func (mb *mutexMailbox[M]) usesPull() bool      { return false }
 func (mb *mutexMailbox[M]) auditBarrier() error { return nil }
@@ -213,7 +224,7 @@ func (mb *spinMailbox[M]) deliver(dst int, msg M) {
 func (mb *spinMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
-func (mb *spinMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
+func (mb *spinMailbox[M]) collectInto(int)     { panic("core: collect phase used with a push combiner") }
 func (mb *spinMailbox[M]) clearOutboxes()      {}
 func (mb *spinMailbox[M]) usesPull() bool      { return false }
 func (mb *spinMailbox[M]) auditBarrier() error { return nil }

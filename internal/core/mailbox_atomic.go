@@ -49,6 +49,12 @@ type atomicMailbox[M any] struct {
 	// check enables the delivery counters (Config.CheckInvariants).
 	check             bool
 	nCombines, nFills uint64
+	// nRetries counts failed CAS attempts (value-word combine retries and
+	// lost empty-slot claims). Unlike the delivery counters it is always
+	// maintained: the increments sit exclusively on the already-contended
+	// failure paths, so the uncontended fast path pays nothing, and the
+	// telemetry layer reads it live as the contention signal.
+	nRetries uint64
 }
 
 const (
@@ -124,6 +130,7 @@ func (mb *atomicMailbox[M]) deliver(dst int, msg M) {
 					mb.countCombine()
 					return
 				}
+				atomic.AddUint64(&mb.nRetries, 1)
 			}
 		case slotEmpty:
 			if atomic.CompareAndSwapUint32(state, slotEmpty, slotBusy) {
@@ -134,6 +141,7 @@ func (mb *atomicMailbox[M]) deliver(dst int, msg M) {
 				}
 				return
 			}
+			atomic.AddUint64(&mb.nRetries, 1)
 		default: // slotBusy: the first deliverer is publishing its value
 			spins++
 			if spins%spinTries == 0 {
@@ -197,6 +205,10 @@ func (mb *atomicMailbox[M]) deliveryCounts() (combines, fills uint64) {
 func (mb *atomicMailbox[M]) resetDeliveryCounts() {
 	atomic.StoreUint64(&mb.nCombines, 0)
 	atomic.StoreUint64(&mb.nFills, 0)
+}
+
+func (mb *atomicMailbox[M]) contentionRetries() uint64 {
+	return atomic.LoadUint64(&mb.nRetries)
 }
 
 // auditBarrier verifies the per-slot state machine settled: once every

@@ -1,0 +1,116 @@
+package core
+
+import "errors"
+
+// Observer is the engine's observability hook: a multi-sink replacement
+// for the original single `func(int, StepStats)` callback. Sinks receive
+// structured lifecycle events from which a live telemetry layer (see
+// internal/telemetry) can maintain counters, stream trace records, or
+// drive progress displays — the per-superstep quantities the paper's §7
+// evaluation reasons about, while the run is still going.
+//
+// Ordering contract (all calls happen on the coordinating goroutine,
+// strictly ordered, never concurrently):
+//
+//   - For every superstep k the engine begins executing, it calls
+//     OnSuperstepStart(k) first and OnSuperstepEnd(k, stats) after the
+//     barrier — exactly once each, always paired. If the run aborts
+//     mid-superstep (a contained compute panic, an invariant violation),
+//     the closing OnSuperstepEnd carries the partial statistics gathered
+//     so far, marked with StepStats.Partial.
+//   - On an aborted run — cancellation, ErrMaxSupersteps, a compute
+//     panic, ErrBypassViolation, an *InvariantError, a checkpoint sink
+//     failure — OnAbort fires exactly once, after the final
+//     OnSuperstepEnd and before OnRunEnd. Converged runs never fire it.
+//   - OnRunEnd fires exactly once per run, last, with the final Report
+//     (internally consistent on every exit path) and the run's error
+//     (nil when converged).
+//
+// Superstep numbers are absolute: a run resumed from a checkpoint
+// continues the original numbering (see Report.FirstSuperstep), so
+// events from a resumed run never collide with the original run's.
+type Observer interface {
+	// OnSuperstepStart announces that superstep s is about to execute.
+	OnSuperstepStart(superstep int)
+	// OnSuperstepEnd delivers superstep s's statistics after the barrier.
+	OnSuperstepEnd(superstep int, s StepStats)
+	// OnAbort announces an aborted run: the superstep at which the run
+	// stopped, the abort reason (err.Error()), and the error itself.
+	OnAbort(superstep int, reason string, err error)
+	// OnRunEnd delivers the final report; err is nil iff the run converged.
+	OnRunEnd(r Report, err error)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// fields are skipped. The zero value is a valid no-op observer.
+type ObserverFuncs struct {
+	SuperstepStart func(superstep int)
+	SuperstepEnd   func(superstep int, s StepStats)
+	Abort          func(superstep int, reason string, err error)
+	RunEnd         func(r Report, err error)
+}
+
+func (o ObserverFuncs) OnSuperstepStart(superstep int) {
+	if o.SuperstepStart != nil {
+		o.SuperstepStart(superstep)
+	}
+}
+
+func (o ObserverFuncs) OnSuperstepEnd(superstep int, s StepStats) {
+	if o.SuperstepEnd != nil {
+		o.SuperstepEnd(superstep, s)
+	}
+}
+
+func (o ObserverFuncs) OnAbort(superstep int, reason string, err error) {
+	if o.Abort != nil {
+		o.Abort(superstep, reason, err)
+	}
+}
+
+func (o ObserverFuncs) OnRunEnd(r Report, err error) {
+	if o.RunEnd != nil {
+		o.RunEnd(r, err)
+	}
+}
+
+// AddObserver registers an additional sink; call before Run. Sinks are
+// notified in registration order (Config.Observers first).
+func (e *Engine[V, M]) AddObserver(o Observer) error {
+	if e.ran {
+		return errors.New("core: cannot add an observer after Run")
+	}
+	if o == nil {
+		return errors.New("core: nil Observer")
+	}
+	e.observers = append(e.observers, o)
+	return nil
+}
+
+// Observe installs a per-superstep callback — live progress for long
+// computations (the USA-road Hashmin runs of §7.3 take the paper almost
+// an hour). It is the legacy single-callback form, kept as a shorthand
+// for AddObserver(ObserverFuncs{SuperstepEnd: fn}); use AddObserver for
+// the full lifecycle (start/end/abort/run-end) events.
+func (e *Engine[V, M]) Observe(fn func(superstep int, s StepStats)) error {
+	if e.ran {
+		return errors.New("core: cannot observe after Run")
+	}
+	if fn == nil {
+		return nil
+	}
+	e.observers = append(e.observers, ObserverFuncs{SuperstepEnd: fn})
+	return nil
+}
+
+func (e *Engine[V, M]) observeSuperstepStart(s int) {
+	for _, o := range e.observers {
+		o.OnSuperstepStart(s)
+	}
+}
+
+func (e *Engine[V, M]) observeSuperstepEnd(s int, step StepStats) {
+	for _, o := range e.observers {
+		o.OnSuperstepEnd(s, step)
+	}
+}

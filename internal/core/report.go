@@ -21,11 +21,26 @@ type StepStats struct {
 	// touched the shared mailbox — the lock/CAS traffic the feature
 	// removed this superstep. Always 0 when sender combining is off.
 	LocalCombines uint64
+	// CASRetries counts failed compare-and-swap attempts in the atomic
+	// mailbox this superstep (value-word combine retries plus lost
+	// empty-slot claims) — the live contention signal. Always 0 for the
+	// lock-based and pull combiners.
+	CASRetries uint64
+	// NextFrontier is the size of the next superstep's frontier under
+	// selection bypass (0 when bypass is off): how many vertices received
+	// a message and will run next.
+	NextFrontier int64
 	// Duration is the wall-clock time of the superstep.
 	Duration time.Duration
 	// WorkerBusy holds each worker's busy time this superstep when
 	// Config.TrackWorkerTime is set (nil otherwise).
 	WorkerBusy []time.Duration
+	// Partial marks a record appended by an abort path for a superstep
+	// that did not run to completion (a contained compute panic, an
+	// invariant violation): the counts are what the workers had delivered
+	// when the run stopped, recorded so the report's totals stay
+	// consistent with the engine's actual activity.
+	Partial bool
 }
 
 // Imbalance returns max/mean of the workers' busy times (1 = perfectly
@@ -48,12 +63,25 @@ func (s StepStats) Imbalance() float64 {
 	return float64(max) / mean
 }
 
-// Report summarises one engine run.
+// Report summarises one engine run. It is internally consistent on
+// every exit path, aborted or converged: TotalMessages and
+// TotalLocalCombines always equal the sums over Steps, and Duration
+// covers exactly the supersteps Steps records (plus any trailing
+// partial one).
 type Report struct {
 	// Version is the Fig. 7 legend name of the configuration, e.g.
 	// "spinlock+bypass".
 	Version string
-	// Supersteps is the number of supersteps executed.
+	// FirstSuperstep is the absolute number of the first superstep this
+	// run executed: 0 for a fresh engine, the checkpoint barrier for an
+	// engine built by Restore. Steps[i] describes absolute superstep
+	// FirstSuperstep+i, so statistics from a resumed run never collide
+	// with the original run's.
+	FirstSuperstep int
+	// Supersteps is the absolute superstep counter at the end of the run:
+	// FirstSuperstep plus the number of completed supersteps (a trailing
+	// Partial step record is not counted). For a fresh, converged run it
+	// is simply the number of supersteps executed.
 	Supersteps int
 	// TotalMessages counts all messages sent across the run.
 	TotalMessages uint64
@@ -65,16 +93,28 @@ type Report struct {
 	// Duration is the superstep execution time — like the paper's
 	// methodology it excludes graph loading and preprocessing (§7.1.2).
 	Duration time.Duration
-	// Converged is false when the run was aborted (superstep limit or
-	// bypass violation).
+	// Converged is true only when the run ended because no vertex was
+	// active and no message was in flight.
 	Converged bool
-	// Steps holds per-superstep statistics.
+	// Aborted is true when the run stopped for any other reason:
+	// cancellation, ErrMaxSupersteps, a compute panic, a bypass
+	// violation, an invariant failure, or a checkpoint error.
+	Aborted bool
+	// AbortReason is the abort error's text (empty when Converged).
+	AbortReason string
+	// Steps holds per-superstep statistics; Steps[i] is absolute
+	// superstep FirstSuperstep+i.
 	Steps []StepStats
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Aborted runs are marked so that a
+// failed run's log line cannot be mistaken for a clean one.
 func (r Report) String() string {
-	return fmt.Sprintf("%-18s supersteps=%-6d msgs=%-12d time=%v", r.Version, r.Supersteps, r.TotalMessages, r.Duration.Round(time.Microsecond))
+	s := fmt.Sprintf("%-18s supersteps=%-6d msgs=%-12d time=%v", r.Version, r.Supersteps, r.TotalMessages, r.Duration.Round(time.Microsecond))
+	if r.Aborted {
+		s += fmt.Sprintf(" ABORTED (%s)", r.AbortReason)
+	}
+	return s
 }
 
 // ActiveSeries returns the per-superstep active-vertex counts, the curve
@@ -114,12 +154,22 @@ func (r Report) LoadImbalance() float64 {
 	return sum / float64(n)
 }
 
-// Table renders the per-superstep statistics for debugging.
+// Table renders the per-superstep statistics for debugging. Superstep
+// numbers are absolute (FirstSuperstep + row index), a trailing partial
+// record is marked, and an aborted run carries a final line naming the
+// abort reason.
 func (r Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "superstep %8s %12s %8s %12s\n", "ran", "messages", "active", "time")
 	for i, s := range r.Steps {
-		fmt.Fprintf(&b, "%9d %8d %12d %8d %12v\n", i, s.Ran, s.Messages, s.Active, s.Duration.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%9d %8d %12d %8d %12v", r.FirstSuperstep+i, s.Ran, s.Messages, s.Active, s.Duration.Round(time.Microsecond))
+		if s.Partial {
+			b.WriteString(" (partial)")
+		}
+		b.WriteByte('\n')
+	}
+	if r.Aborted {
+		fmt.Fprintf(&b, "aborted: %s\n", r.AbortReason)
 	}
 	return b.String()
 }

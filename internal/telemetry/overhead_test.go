@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+)
+
+// benchGraph is sized so each run executes a few dozen supersteps over
+// thousands of vertices — enough compute that per-barrier hook costs are
+// measured against realistic superstep work.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	var bld graph.Builder
+	bld.BuildInEdges()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		bld.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+		bld.AddEdge(graph.VertexID(i), graph.VertexID((i*7+3)%n))
+	}
+	return bld.MustBuild()
+}
+
+// BenchmarkTelemetryOverhead is the disabled-telemetry guard for the
+// acceptance criterion "hooks cost nothing on the hot path": compare the
+// `disabled` series (engine with no sinks — the observer fan-out loop
+// over an empty slice is all that PR 3 added to the superstep barrier)
+// against the pre-observer baseline, and the sink series against
+// `disabled` for the live cost of each sink. Observer hooks fire only at
+// barriers, never per vertex, so the deltas stay bounded by
+// supersteps × sink cost regardless of graph size.
+//
+//	go test ./internal/telemetry/ -bench TelemetryOverhead -count 10 | benchstat
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	g := benchGraph(b)
+	run := func(b *testing.B, obs ...core.Observer) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{Threads: 2, Observers: obs}
+			if _, _, err := core.Run(g, cfg, flood(20)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b) })
+	b.Run("collector", func(b *testing.B) { run(b, NewCollector()) })
+	b.Run("trace", func(b *testing.B) { run(b, NewTraceWriter(io.Discard)) })
+	b.Run("collector+trace", func(b *testing.B) { run(b, NewCollector(), NewTraceWriter(io.Discard)) })
+}

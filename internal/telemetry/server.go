@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the telemetry HTTP endpoint: /metrics (plain text),
+// /debug/vars (expvar JSON) and /debug/pprof/* (live profiling,
+// including /debug/pprof/trace whose runtime trace carries the engine's
+// per-phase regions). It is bound by Serve and torn down by Close.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the telemetry mux for c. Exposed separately from
+// Serve so the endpoint can be mounted into an existing server.
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WriteMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof registers on http.DefaultServeMux via init; wire its
+	// handlers into this private mux instead so the telemetry server
+	// works regardless of what the host process does with the default.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve publishes c to expvar, binds addr (e.g. ":8080", "127.0.0.1:0")
+// and serves the telemetry endpoint in a background goroutine until
+// Close. The returned Server's Addr carries the resolved address.
+func Serve(addr string, c *Collector) (*Server, error) {
+	c.Publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(c), ReadHeaderTimeout: 10 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ipregel/internal/core"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	c := NewCollector()
+	srv, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, _, err := core.Run(ring(8), core.Config{Observers: []core.Observer{c}}, flood(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, "ipregel_runs_total 1") || !strings.Contains(metrics, "ipregel_supersteps_total") {
+		t.Fatalf("/metrics payload:\n%s", metrics)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.Contains(vars, `"ipregel"`) || !strings.Contains(vars, "ipregel_messages_total") {
+		t.Fatalf("/debug/vars payload missing collector:\n%.400s", vars)
+	}
+
+	if idx, _ := get("/debug/pprof/"); !strings.Contains(idx, "heap") {
+		t.Fatalf("/debug/pprof/ index:\n%.400s", idx)
+	}
+	if heap, _ := get("/debug/pprof/heap?debug=1"); !strings.Contains(heap, "heap profile") {
+		t.Fatalf("/debug/pprof/heap payload:\n%.200s", heap)
+	}
+}
+
+func TestServeRejectsBadAddr(t *testing.T) {
+	if _, err := Serve("definitely-not-an-addr:xyz", NewCollector()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

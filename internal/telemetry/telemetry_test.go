@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+)
+
+func ring(n int) *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// flood broadcasts for `steps` supersteps then halts — converges in
+// steps+2 supersteps with one message per vertex per sending superstep.
+func flood(steps int) core.Program[uint32, uint32] {
+	return core.Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *core.Context[uint32, uint32], v core.Vertex[uint32, uint32]) {
+			var m uint32
+			for ctx.NextMessage(v, &m) {
+				*v.Value() += m
+			}
+			if ctx.Superstep() < steps {
+				ctx.Broadcast(v, 1)
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+}
+
+func neverHalt() core.Program[uint32, uint32] {
+	return core.Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *core.Context[uint32, uint32], v core.Vertex[uint32, uint32]) {
+			ctx.Broadcast(v, 1)
+		},
+	}
+}
+
+func TestCollectorTracksRun(t *testing.T) {
+	c := NewCollector()
+	cfg := core.Config{Threads: 2, TrackWorkerTime: true, Observers: []core.Observer{c}}
+	_, rep, err := core.Run(ring(16), cfg, flood(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if got := snap["ipregel_runs_total"]; got != 1 {
+		t.Fatalf("runs_total = %d, want 1", got)
+	}
+	if got := snap["ipregel_runs_converged_total"]; got != 1 {
+		t.Fatalf("runs_converged_total = %d, want 1", got)
+	}
+	if got := snap["ipregel_runs_aborted_total"]; got != 0 {
+		t.Fatalf("runs_aborted_total = %d, want 0", got)
+	}
+	if got := snap["ipregel_supersteps_total"]; got != int64(rep.Supersteps) {
+		t.Fatalf("supersteps_total = %d, report says %d", got, rep.Supersteps)
+	}
+	if got := snap["ipregel_messages_total"]; got != int64(rep.TotalMessages) {
+		t.Fatalf("messages_total = %d, report says %d", got, rep.TotalMessages)
+	}
+	var ran int64
+	for _, s := range rep.Steps {
+		ran += s.Ran
+	}
+	if got := snap["ipregel_vertices_ran_total"]; got != ran {
+		t.Fatalf("vertices_ran_total = %d, steps sum to %d", got, ran)
+	}
+	if got := snap["ipregel_current_superstep"]; got != int64(rep.Supersteps-1) {
+		t.Fatalf("current_superstep = %d, want last executed %d", got, rep.Supersteps-1)
+	}
+	if snap["ipregel_runs_active"] != 0 {
+		t.Fatal("runs_active stuck after run end")
+	}
+	if snap["ipregel_heap_objects_bytes"] <= 0 {
+		t.Fatal("heap sample missing")
+	}
+	if snap["ipregel_last_imbalance_millis"] < 1000 {
+		t.Fatalf("imbalance gauge = %d, want >= 1000 (max/mean >= 1)", snap["ipregel_last_imbalance_millis"])
+	}
+
+	// A second, aborted run accumulates into the same collector.
+	_, rep2, err := core.Run(ring(16), core.Config{MaxSupersteps: 3, Observers: []core.Observer{c}}, neverHalt())
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	snap = c.Snapshot()
+	if snap["ipregel_runs_total"] != 2 || snap["ipregel_runs_aborted_total"] != 1 || snap["ipregel_runs_converged_total"] != 1 {
+		t.Fatalf("after aborted run: %+v", snap)
+	}
+	if got := snap["ipregel_messages_total"]; got != int64(rep.TotalMessages+rep2.TotalMessages) {
+		t.Fatalf("messages_total = %d, want %d", got, rep.TotalMessages+rep2.TotalMessages)
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	c := NewCollector()
+	if _, _, err := core.Run(ring(8), core.Config{Observers: []core.Observer{c}}, flood(2)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(c.Snapshot()) {
+		t.Fatalf("%d metric lines, want %d", len(lines), len(c.Snapshot()))
+	}
+	prev := ""
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "ipregel_") {
+			t.Fatalf("malformed metric line %q", ln)
+		}
+		if fields[0] <= prev {
+			t.Fatalf("metrics not sorted: %q after %q", fields[0], prev)
+		}
+		prev = fields[0]
+	}
+	if !strings.Contains(out, "ipregel_runs_total 1\n") {
+		t.Fatalf("runs_total missing:\n%s", out)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	// The counter set must stay race-free when several engines feed one
+	// collector while scrapers snapshot it (run under -race in CI).
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := core.Run(ring(32), core.Config{Threads: 2, Observers: []core.Observer{c}}, flood(5)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = c.WriteMetrics(discardWriter{})
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Snapshot()["ipregel_runs_total"]; got != 4 {
+		t.Fatalf("runs_total = %d, want 4", got)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestPublishExpvar(t *testing.T) {
+	a := NewCollector()
+	a.Publish()
+	v := expvar.Get("ipregel")
+	if v == nil {
+		t.Fatal("expvar key not published")
+	}
+	if _, _, err := core.Run(ring(8), core.Config{Observers: []core.Observer{a}}, flood(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), `"ipregel_runs_total":1`) {
+		t.Fatalf("expvar snapshot missing run: %s", v.String())
+	}
+	// Publishing a second collector must not panic (expvar is append-only)
+	// and re-points the key at the newest collector.
+	b := NewCollector()
+	b.Publish()
+	if strings.Contains(expvar.Get("ipregel").String(), `"ipregel_runs_total":1`) {
+		t.Fatal("expvar key still backed by the old collector")
+	}
+}
+
+func TestSnapshotTimestampAdvances(t *testing.T) {
+	c := NewCollector()
+	t0 := c.Snapshot()["ipregel_snapshot_unix_nanos"]
+	time.Sleep(time.Millisecond)
+	if t1 := c.Snapshot()["ipregel_snapshot_unix_nanos"]; t1 <= t0 {
+		t.Fatalf("snapshot timestamp did not advance: %d -> %d", t0, t1)
+	}
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ipregel/internal/core"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	cfg := core.Config{Threads: 2, TrackWorkerTime: true, Observers: []core.Observer{tw}}
+	_, rep, err := core.Run(ring(16), cfg, flood(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Type != EventRunStart {
+		t.Fatalf("first event %q, want run_start", events[0].Type)
+	}
+	if last := events[len(events)-1]; last.Type != EventRunEnd {
+		t.Fatalf("last event %q, want run_end", last.Type)
+	}
+	steps := 0
+	for _, ev := range events {
+		if ev.Type == EventSuperstep {
+			steps++
+		}
+		if ev.Type == EventAbort {
+			t.Fatal("converged run emitted an abort event")
+		}
+	}
+	if steps != len(rep.Steps) {
+		t.Fatalf("trace has %d superstep events, report has %d steps", steps, len(rep.Steps))
+	}
+
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed report reproduces the live run's renderings exactly.
+	if replay.String() != rep.String() {
+		t.Fatalf("replayed summary differs:\n got %q\nwant %q", replay.String(), rep.String())
+	}
+	if replay.Table() != rep.Table() {
+		t.Fatalf("replayed table differs:\n got:\n%s\nwant:\n%s", replay.Table(), rep.Table())
+	}
+	if replay.LoadImbalance() != rep.LoadImbalance() {
+		t.Fatalf("replayed imbalance %v, want %v", replay.LoadImbalance(), rep.LoadImbalance())
+	}
+}
+
+func TestTraceAbortedRun(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	_, rep, err := core.Run(ring(8), core.Config{MaxSupersteps: 3, Observers: []core.Observer{tw}}, neverHalt())
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborts := 0
+	for _, ev := range events {
+		if ev.Type == EventAbort {
+			aborts++
+			if !strings.Contains(ev.Reason, "superstep limit") {
+				t.Fatalf("abort reason %q", ev.Reason)
+			}
+		}
+	}
+	if aborts != 1 {
+		t.Fatalf("%d abort events, want 1", aborts)
+	}
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Aborted || replay.AbortReason != rep.AbortReason {
+		t.Fatalf("replayed abort state: %+v", replay)
+	}
+	if replay.Table() != rep.Table() {
+		t.Fatalf("replayed aborted table differs:\n%s", replay.Table())
+	}
+}
+
+func TestTraceResumedNumbering(t *testing.T) {
+	// A trace whose run_start is mid-numbering (a resumed run) validates
+	// and replays with absolute superstep rows.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.OnSuperstepStart(5)
+	tw.OnSuperstepEnd(5, core.StepStats{Ran: 3, Messages: 2})
+	tw.OnSuperstepEnd(6, core.StepStats{Ran: 1})
+	tw.OnRunEnd(core.Report{FirstSuperstep: 5, Supersteps: 7, TotalMessages: 2, Converged: true,
+		Steps: []core.StepStats{{Ran: 3, Messages: 2}, {Ran: 1}}}, nil)
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.FirstSuperstep != 5 || replay.Supersteps != 7 {
+		t.Fatalf("replay numbering: %+v", replay)
+	}
+	if !strings.Contains(replay.Table(), "\n        5 ") {
+		t.Fatalf("table rows not absolute:\n%s", replay.Table())
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	ok := `{"schema":"ipregel-trace/1","type":"run_start"}
+{"schema":"ipregel-trace/1","type":"superstep","superstep":0,"ran":1}
+{"schema":"ipregel-trace/1","type":"run_end","supersteps":1,"converged":true}`
+	if _, err := ReadTrace(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	cases := map[string]string{
+		"empty":     "",
+		"not-json":  "pregel",
+		"schema":    `{"schema":"ipregel-trace/999","type":"run_start"}`,
+		"bad-type":  `{"schema":"ipregel-trace/1","type":"wibble"}`,
+		"gap":       `{"schema":"ipregel-trace/1","type":"superstep","superstep":0}` + "\n" + `{"schema":"ipregel-trace/1","type":"superstep","superstep":2}`,
+		"post-partial": `{"schema":"ipregel-trace/1","type":"superstep","superstep":0,"partial":true}` + "\n" +
+			`{"schema":"ipregel-trace/1","type":"superstep","superstep":1}`,
+		"restart": `{"schema":"ipregel-trace/1","type":"run_start","first_superstep":4}` + "\n" +
+			`{"schema":"ipregel-trace/1","type":"superstep","superstep":0}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: invalid trace accepted", name)
+		}
+	}
+}
+
+func TestReplayDetectsInconsistentTotals(t *testing.T) {
+	in := `{"schema":"ipregel-trace/1","type":"superstep","superstep":0,"messages":3}
+{"schema":"ipregel-trace/1","type":"run_end","supersteps":1,"total_messages":99}`
+	events, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayReport(events); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("inconsistent trace accepted: %v", err)
+	}
+}
+
+func TestReplayTruncatedTrace(t *testing.T) {
+	// A live (still-running) or truncated trace has no run_end; the
+	// replay synthesises the summary from the step events.
+	in := `{"schema":"ipregel-trace/1","type":"run_start","first_superstep":2}
+{"schema":"ipregel-trace/1","type":"superstep","superstep":2,"ran":4,"messages":7,"duration_ns":1000}
+{"schema":"ipregel-trace/1","type":"superstep","superstep":3,"ran":2,"messages":1,"duration_ns":500}`
+	events, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Supersteps != 4 || rep.FirstSuperstep != 2 || rep.TotalMessages != 8 || rep.Duration != 1500 {
+		t.Fatalf("synthesised summary wrong: %+v", rep)
+	}
+}
+
+func TestTraceWriterStickyError(t *testing.T) {
+	tw := NewTraceWriter(failWriter{})
+	tw.OnSuperstepStart(0)
+	tw.OnSuperstepEnd(0, core.StepStats{})
+	tw.OnRunEnd(core.Report{}, nil)
+	if err := tw.Flush(); err == nil {
+		t.Fatal("write error not reported by Flush")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
