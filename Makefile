@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet build test race fuzz bench telemetry-smoke
+.PHONY: check vet ipregel-vet build test race fuzz bench telemetry-smoke chaos
 check: vet ipregel-vet build test race
 
 vet:
@@ -32,13 +32,24 @@ race:
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
-# Short fuzz pass over every graph parser; `error, never panic` on
-# arbitrary bytes. Lengthen FUZZTIME for a deeper run.
+# Fault-injection gauntlet: the kill-anywhere crash matrix under the
+# race detector, the checkpoint Restore fuzz seeds, and a scripted
+# kill-and-resume of the faulttolerance example and the CLI recovery
+# flags (scripts/chaos_smoke.sh).
+chaos:
+	$(GO) test -race ./internal/core/ -run 'CrashMatrix|RunWithRecovery|FileSink'
+	$(GO) test ./internal/core/ -run 'FuzzRestore|RestoreV2DetectsCorruption|RestoreV1StillReads|CheckpointV2Golden'
+	sh scripts/chaos_smoke.sh
+
+# Short fuzz pass over every graph parser and the checkpoint restorer;
+# `error, never panic` on arbitrary bytes. Lengthen FUZZTIME for a
+# deeper run.
 FUZZTIME ?= 10s
 fuzz:
 	for t in FuzzReadEdgeList FuzzReadKONECT FuzzReadDIMACS FuzzReadMETIS FuzzReadBinary; do \
 		$(GO) test ./internal/graphio/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -61,9 +61,20 @@ func run(args []string, out io.Writer) error {
 		telAddr   = fs.String("telemetry", "", "serve live /metrics, expvar and /debug/pprof on this address (e.g. :8080) during the run")
 		telHold   = fs.Duration("telemetry-hold", 0, "keep the telemetry endpoint up this long after the run (for scrapers)")
 		traceOut  = fs.String("trace", "", "stream per-superstep JSONL trace events to this file ('-' for stdout; replay with ipregel-trace)")
+		ckptDir   = fs.String("checkpoint-dir", "", "persist checkpoints to this directory and run under the crash-recovery supervisor (pagerank | pagerank-converged | hashmin | sssp)")
+		ckptEvery = fs.Int("checkpoint-every", 8, "checkpoint after every multiple of this many supersteps (with -checkpoint-dir)")
+		ckptKeep  = fs.Int("checkpoint-keep", 3, "checkpoints retained in -checkpoint-dir (0 keeps all)")
+		attempts  = fs.Int("recover-attempts", 3, "total run attempts before the recovery supervisor gives up (with -checkpoint-dir)")
+		chaosSpec = fs.String("chaos", "", "inject faults per this spec, e.g. 'seed=7,panic@3,sink@5' (requires -checkpoint-dir; see internal/chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosSpec != "" && *ckptDir == "" {
+		return fmt.Errorf("-chaos needs -checkpoint-dir: injected faults are only survivable with checkpoints")
+	}
+	if *ckptDir != "" && *framework != "ipregel" {
+		return fmt.Errorf("-checkpoint-dir requires -framework ipregel, not %q", *framework)
 	}
 
 	g, err := loadGraph(out, *graphFile, *graphSpec, *divisor, *app == "wsssp")
@@ -127,6 +138,23 @@ func run(args []string, out io.Writer) error {
 		}
 		defer closeTrace()
 		cfg.Observers = append(cfg.Observers, w)
+	}
+
+	if *ckptDir != "" {
+		rf := recoveryFlags{dir: *ckptDir, every: *ckptEvery, keep: *ckptKeep, attempts: *attempts, chaos: *chaosSpec}
+		var rep core.Report
+		peak, baseline := memmodel.MeasurePeakHeap(func() {
+			rep, err = runRecoverable(out, g, cfg, rf, *app, *rounds, graph.VertexID(*source))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep)
+		fmt.Fprintf(out, "peak heap: %s (baseline %s)\n", memmodel.GB(peak), memmodel.GB(baseline))
+		if *verbose {
+			fmt.Fprint(out, rep.Table())
+		}
+		return nil
 	}
 
 	var rep core.Report

@@ -85,3 +85,73 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRecoverable drives the -checkpoint-dir / -chaos path: every
+// supported app survives an injected mid-run panic, reports the
+// recovery, and still prints its usual summary line.
+func TestRunRecoverable(t *testing.T) {
+	cases := []struct {
+		app  string
+		args []string
+		want string
+	}{
+		{"sssp", []string{"-graph", "road:10:10", "-combiner", "spinlock", "-bypass", "-source", "1"}, "reached: 100 of 100"},
+		{"hashmin", []string{"-graph", "road:8:8", "-combiner", "atomic"}, "components: 1"},
+		{"pagerank", []string{"-graph", "rmat:7:4", "-rounds", "8"}, "ranks computed for 128 vertices"},
+		{"pagerank-converged", []string{"-graph", "rmat:7:4"}, "converged in"},
+	}
+	for _, c := range cases {
+		args := append([]string{
+			"-app", c.app,
+			"-checkpoint-dir", t.TempDir(),
+			"-checkpoint-every", "2",
+			"-chaos", "seed=11,panic@3",
+		}, c.args...)
+		out := runOK(t, args...)
+		for _, want := range []string{c.want, "recovery: attempt 1 failed", "chaos: fired panic@3", "recoveries=1"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("app %s: output missing %q:\n%s", c.app, want, out)
+			}
+		}
+	}
+}
+
+// TestRunRecoverableResumesAcrossInvocations covers the operator story:
+// a run killed by fault exhaustion leaves checkpoints behind, and a
+// second invocation pointed at the same directory resumes from them
+// instead of superstep 0.
+func TestRunRecoverableResumesAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-app", "sssp", "-graph", "road:10:10", "-combiner", "spinlock", "-source", "1",
+		"-checkpoint-dir", dir, "-checkpoint-every", "2"}
+
+	// First invocation: one attempt, killed at superstep 5 → exhaustion.
+	var sb strings.Builder
+	args := append([]string{"-chaos", "seed=1,panic@5", "-recover-attempts", "1"}, base...)
+	if err := run(args, &sb); err == nil || !strings.Contains(err.Error(), "after 1 attempts") {
+		t.Fatalf("first invocation: err = %v, want attempt exhaustion\n%s", err, sb.String())
+	}
+
+	// Second invocation, same directory, no faults: must resume mid-run.
+	out := runOK(t, base...)
+	if !strings.Contains(out, "reached: 100 of 100") {
+		t.Fatalf("resumed run did not finish:\n%s", out)
+	}
+}
+
+// TestRunRecoverableErrors pins the flag-validation and app-support
+// errors of the recovery path.
+func TestRunRecoverableErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-chaos", "panic@3", "-graph", "ring:5"},                                                  // -chaos without -checkpoint-dir
+		{"-checkpoint-dir", "x", "-framework", "pregelplus", "-graph", "ring:5"},                   // wrong framework
+		{"-app", "scc", "-checkpoint-dir", "x", "-graph", "ring:5"},                                // unsupported app
+		{"-app", "sssp", "-checkpoint-dir", "x", "-chaos", "panic@3,seed=1", "-graph", "ring:5"},   // bad spec: seed must lead
+		{"-app", "sssp", "-checkpoint-dir", "x", "-chaos", "seed=1,explode@3", "-graph", "ring:5"}, // unknown fault
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

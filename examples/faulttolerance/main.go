@@ -1,22 +1,24 @@
 // Fault tolerance: the Pregel model's barrier checkpointing, demonstrated
-// end-to-end. A long SSSP computation on a road network checkpoints every
-// few supersteps; the run is "crashed" at a chosen barrier, restored from
-// the last checkpoint on disk, and resumed — and the resumed result is
-// verified identical to an uninterrupted run.
+// end-to-end with the crash-recovery supervisor. A long SSSP computation
+// on a road network checkpoints every few supersteps through an atomic
+// FileSink; a deterministic chaos injector kills the run twice — a worker
+// panic early on, then a corrupted checkpoint paired with a second panic
+// later — and core.RunWithRecovery auto-resumes each time from the newest
+// checkpoint that still verifies. The final result is checked identical
+// to an uninterrupted run.
 //
-//	go run ./examples/faulttolerance [-rows 150] [-cols 150] [-every 25]
+//	go run ./examples/faulttolerance [-rows 150] [-cols 150] [-every 10]
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"path/filepath"
 
 	"ipregel/internal/algorithms"
+	"ipregel/internal/chaos"
 	"ipregel/internal/core"
 	"ipregel/internal/gen"
 	"ipregel/internal/graph"
@@ -26,7 +28,7 @@ import (
 func main() {
 	rows := flag.Int("rows", 120, "grid rows")
 	cols := flag.Int("cols", 120, "grid cols")
-	every := flag.Int("every", 25, "checkpoint every N supersteps")
+	every := flag.Int("every", 10, "checkpoint every N supersteps")
 	flag.Parse()
 
 	g := gen.Road(gen.RoadParams{Rows: *rows, Cols: *cols, Base: 1, BuildInEdges: true})
@@ -41,64 +43,61 @@ func main() {
 	}
 	fmt.Printf("uninterrupted: %d supersteps, %v\n", refRep.Supersteps, refRep.Duration.Round(1000))
 
-	// Checkpointed run that "crashes" partway: the engine checkpoints to
-	// disk; we abort it by capping supersteps mid-flight.
 	dir, err := os.MkdirTemp("", "ipregel-ckpt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-
-	crashAt := refRep.Supersteps / 2
-	crashCfg := cfg
-	crashCfg.MaxSupersteps = crashAt // the simulated crash
-	e, err := core.New(g, crashCfg, prog)
+	sink, err := core.NewFileSink(dir, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var lastCkpt string
-	var open []*os.File // the engine does not close sinks
-	if err := e.SetCheckpointer(core.Checkpointer[uint32, uint32]{
-		Every: *every,
-		Sink: func(s int) (io.Writer, error) {
-			lastCkpt = filepath.Join(dir, fmt.Sprintf("ckpt-%05d", s))
-			f, err := os.Create(lastCkpt)
-			if err != nil {
-				return nil, err
-			}
-			open = append(open, f)
-			return f, nil
-		},
+
+	// The fault plan, all deterministic: a compute panic a third of the
+	// way in; then — once past that point — a bit flip corrupting the
+	// checkpoint taken two-thirds in, paired with a panic at the same
+	// superstep, so the recovery that follows must notice the corrupt
+	// file and fall back to the checkpoint before it.
+	first := refRep.Supersteps / 3
+	second := 2 * refRep.Supersteps / 3
+	second -= second % *every // align with a checkpoint barrier
+	inj := chaos.New(42,
+		chaos.Event{Fault: chaos.ComputePanic, Superstep: first},
+		chaos.Event{Fault: chaos.BitFlip, Superstep: second, Arg: -1},
+		chaos.Event{Fault: chaos.ComputePanic, Superstep: second},
+	)
+	fmt.Printf("fault plan: %v\n", inj.Pending())
+
+	crashCfg := cfg
+	crashCfg.Observers = append(crashCfg.Observers, inj.Observer())
+	cp := core.Checkpointer[uint32, uint32]{
+		Every:  *every,
+		Sink:   inj.WrapSink(sink.Sink),
 		VCodec: pregelplus.Uint32Codec{},
 		MCodec: pregelplus.Uint32Codec{},
-	}); err != nil {
-		log.Fatal(err)
 	}
-	_, err = e.Run()
-	for _, f := range open {
-		f.Close()
-	}
-	if !errors.Is(err, core.ErrMaxSupersteps) {
-		log.Fatalf("expected the simulated crash, got %v", err)
-	}
-	fmt.Printf("crashed at superstep %d; last checkpoint: %s\n", crashAt, filepath.Base(lastCkpt))
-
-	// Recovery: restore from the last checkpoint and resume.
-	f, err := os.Open(lastCkpt)
+	restored, rep, err := core.RunWithRecovery(context.Background(), g, crashCfg, chaos.WrapProgram(inj, prog), cp, sink, core.RecoveryOptions[uint32, uint32]{
+		MaxAttempts: 4,
+		AttemptContext: func(parent context.Context, _ int) (context.Context, context.CancelFunc) {
+			return inj.Context(parent)
+		},
+		OnRetry: func(attempt int, err error) {
+			fmt.Printf("attempt %d died: %v\n", attempt, err)
+			if _, superstep, found, lerr := sink.LatestGood(); lerr == nil && found {
+				fmt.Printf("  resuming from checkpoint %d\n", superstep)
+			}
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored, err := core.Restore(f, g, cfg, prog, pregelplus.Uint32Codec{}, pregelplus.Uint32Codec{})
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	for _, ev := range inj.Fired() {
+		fmt.Printf("chaos fired: %v\n", ev)
 	}
-	resumedRep, err := restored.Run()
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("recoveries: %d (attempts: %d), finished at superstep %d\n", rep.Recoveries, rep.Attempts, rep.Supersteps)
+	if rep.Recoveries == 0 {
+		log.Fatal("expected at least one recovery")
 	}
-	fmt.Printf("resumed: %d supersteps re-executed, finished at superstep %d\n",
-		len(resumedRep.Steps), resumedRep.Supersteps)
 
 	want := refEngine.ValuesDense()
 	got := restored.ValuesDense()

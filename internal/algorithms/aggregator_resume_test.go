@@ -1,0 +1,170 @@
+package algorithms
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/graph"
+	"ipregel/internal/pregelplus"
+)
+
+// aggResumeGraph is a small strongly-connected ring with irregular
+// chords: every vertex has out-degree ≥ 1 (no rank leaks to sinks), and
+// the uneven degrees keep the rank distribution non-uniform, so the
+// delta aggregator decays over many supersteps instead of hitting the
+// fixed point immediately (a regular graph's PageRank is uniform from
+// superstep one).
+func aggResumeGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	var b graph.Builder
+	const n = 24
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		b.AddEdge(graph.VertexID(i), graph.VertexID(next))
+		if i%3 == 0 {
+			chord := (i+6)%n + 1
+			b.AddEdge(graph.VertexID(i), graph.VertexID(chord))
+		}
+		if i%5 == 0 {
+			b.AddEdge(graph.VertexID(i), 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestPageRankConvergedResumesWithAggregatorState is the regression test
+// for the checkpoint aggregator gap: v1 checkpoints dropped aggregator
+// state, so a resumed PageRankConverged read the AggSum identity 0 for
+// "delta" on its first resumed superstep and every vertex concluded —
+// prematurely — that the run had converged. Checkpoint v2 persists the
+// barrier's merged aggregator values, so a resumed run must now execute
+// exactly the supersteps the uninterrupted run would have, and finish
+// with exactly its ranks.
+func TestPageRankConvergedResumesWithAggregatorState(t *testing.T) {
+	g := aggResumeGraph(t)
+	// Threads=1: float summation order is fixed, so resumed ranks must be
+	// bit-identical, not merely close.
+	cfg := core.Config{Combiner: core.CombinerSpin, Threads: 1}
+	const tol = 1e-7
+
+	wantRanks, refRep, err := PageRankConverged(g, cfg, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRep.Supersteps < 6 {
+		t.Fatalf("reference run too short (%d supersteps) to test mid-run resume", refRep.Supersteps)
+	}
+
+	// Checkpoint every barrier; resume from each and demand the exact
+	// reference outcome. Premature convergence would end the resumed run
+	// at FirstSuperstep+1 with wrong ranks.
+	var dumps [][]byte
+	var barriers []int
+	e, err := core.New(g, cfg, PageRankConvergedProgram(tol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("delta", core.AggSum); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(core.Checkpointer[float64, float64]{
+		Every: 1,
+		Sink: func(s int) (io.Writer, error) {
+			dumps = append(dumps, nil)
+			barriers = append(barriers, s)
+			idx := len(dumps) - 1
+			return sliceWriter{dst: &dumps[idx]}, nil
+		},
+		VCodec: pregelplus.Float64Codec{},
+		MCodec: pregelplus.Float64Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for di, dump := range dumps {
+		restored, err := core.Restore(bytes.NewReader(dump), g, cfg, PageRankConvergedProgram(tol), pregelplus.Float64Codec{}, pregelplus.Float64Codec{})
+		if err != nil {
+			t.Fatalf("restore from barrier %d: %v", barriers[di], err)
+		}
+		if err := restored.RegisterAggregator("delta", core.AggSum); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := restored.Run()
+		if err != nil {
+			t.Fatalf("resume from barrier %d: %v", barriers[di], err)
+		}
+		if rep.Supersteps != refRep.Supersteps {
+			t.Fatalf("resume from barrier %d ended at superstep %d, reference at %d (aggregator state lost?)", barriers[di], rep.Supersteps, refRep.Supersteps)
+		}
+		got := restored.ValuesDense()
+		for i := range wantRanks {
+			if got[i] != wantRanks[i] {
+				t.Fatalf("resume from barrier %d: rank[%d] = %v, want exactly %v", barriers[di], i, got[i], wantRanks[i])
+			}
+		}
+	}
+}
+
+// TestResumeWithoutRegisteringAggregatorFails pins the mismatch guard: a
+// checkpoint carrying aggregator state must not silently run under a
+// program that never registers the aggregator.
+func TestResumeWithoutRegisteringAggregatorFails(t *testing.T) {
+	g := aggResumeGraph(t)
+	cfg := core.Config{Combiner: core.CombinerSpin, Threads: 1}
+	const tol = 1e-7
+
+	var dump []byte
+	e, err := core.New(g, cfg, PageRankConvergedProgram(tol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("delta", core.AggSum); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(core.Checkpointer[float64, float64]{
+		Every: 3,
+		Sink: func(s int) (io.Writer, error) {
+			if s != 3 {
+				return io.Discard, nil
+			}
+			return sliceWriter{dst: &dump}, nil
+		},
+		VCodec: pregelplus.Float64Codec{},
+		MCodec: pregelplus.Float64Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := core.Restore(bytes.NewReader(dump), g, cfg, PageRankConvergedProgram(tol), pregelplus.Float64Codec{}, pregelplus.Float64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Run(); err == nil || !strings.Contains(err.Error(), "delta") {
+		t.Fatalf("run without registering the checkpointed aggregator: err = %v, want a mismatch naming %q", err, "delta")
+	}
+
+	// Registering with the wrong operator is a mismatch too.
+	restored, err = core.Restore(bytes.NewReader(dump), g, cfg, PageRankConvergedProgram(tol), pregelplus.Float64Codec{}, pregelplus.Float64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RegisterAggregator("delta", core.AggMin); err == nil {
+		t.Fatal("aggregator registered with a different operator than the checkpoint's")
+	}
+}
+
+type sliceWriter struct{ dst *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.dst = append(*w.dst, p...)
+	return len(p), nil
+}

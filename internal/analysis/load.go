@@ -35,6 +35,14 @@ type Loader struct {
 
 	std  types.Importer
 	pkgs map[string]*depPkg
+
+	// base and augmented are set on the throwaway sub-loader LoadDir
+	// builds for an external test package: deps that do not
+	// (transitively) import the test-augmented package are shared from
+	// base, preserving type identity with the primary target; deps that
+	// do are re-checked so they bind to the augmented view.
+	base      *Loader
+	augmented string
 }
 
 // depPkg is a memoized dependency package: non-test files only.
@@ -126,6 +134,16 @@ func (l *Loader) dep(path string) (*depPkg, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, p.err
 	}
+	if l.base != nil {
+		// Sub-loader: reuse the parent's view unless this dependency
+		// reaches the augmented package, in which case it must be
+		// re-checked here so it binds to the augmented view instead.
+		if p, err := l.base.dep(path); err == nil && !importsPkg(p.types, l.augmented) {
+			l.pkgs[path] = p
+			return p, nil
+		}
+	}
+
 	p := &depPkg{}
 	l.pkgs[path] = p // pre-register to fail fast on import cycles
 	p.err = fmt.Errorf("analysis: import cycle through %q", path)
@@ -143,7 +161,7 @@ func (l *Loader) dep(path string) (*depPkg, error) {
 	}
 	p.files = files
 	p.info = newInfo()
-	p.types, p.err = l.check(path, files, p.info, nil)
+	p.types, p.err = l.check(path, files, p.info)
 	return p, p.err
 }
 
@@ -205,21 +223,42 @@ func (l *Loader) LoadDir(dir string, pkgPath string) ([]*Target, error) {
 
 	var out []*Target
 	var primaryTypes *types.Package
+	var primaryInfo *types.Info
 	if len(primary) > 0 {
-		info := newInfo()
-		tpkg, err := l.check(pkgPath, primary, info, nil)
+		primaryInfo = newInfo()
+		tpkg, err := l.check(pkgPath, primary, primaryInfo)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pkgPath, err)
 		}
 		primaryTypes = tpkg
-		out = append(out, &Target{PkgPath: pkgPath, Dir: abs, Files: primary, Types: tpkg, Info: info})
+		out = append(out, &Target{PkgPath: pkgPath, Dir: abs, Files: primary, Types: tpkg, Info: primaryInfo})
 	}
 	if len(external) > 0 {
 		info := newInfo()
 		// The external test package imports the primary package; resolve
-		// that import to the test-augmented view built above (mirroring
-		// `go test`, where export_test.go files widen the API).
-		tpkg, err := l.check(pkgPath+"_test", external, info, map[string]*types.Package{pkgPath: primaryTypes})
+		// that import — and the primary-package import of every other
+		// module-internal dependency the test package pulls in — to the
+		// test-augmented view built above. This mirrors `go test`, where
+		// the augmented package replaces the plain one program-wide: a
+		// memoized dependency compiled against a separately checked
+		// primary would make the two views distinct types.Packages, and
+		// identical-looking types would stop being identical. The
+		// sub-loader shares every dep that does not reach the primary
+		// package and re-checks the ones that do against the augmented
+		// view (see Loader.base).
+		sub := &Loader{
+			Fset:       l.Fset,
+			ModuleRoot: l.ModuleRoot,
+			ModulePath: l.ModulePath,
+			std:        l.std,
+			pkgs:       map[string]*depPkg{},
+			base:       l,
+			augmented:  pkgPath,
+		}
+		if primaryTypes != nil {
+			sub.pkgs[pkgPath] = &depPkg{files: primary, types: primaryTypes, info: primaryInfo}
+		}
+		tpkg, err := sub.check(pkgPath+"_test", external, info)
 		if err != nil {
 			return nil, fmt.Errorf("%s_test: %w", pkgPath, err)
 		}
@@ -257,16 +296,13 @@ func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File,
 	return files, nil
 }
 
-// check type-checks files as package path. overrides maps import paths to
-// pre-built packages consulted before the loader's own resolution.
-func (l *Loader) check(path string, files []*ast.File, info *types.Info, overrides map[string]*types.Package) (*types.Package, error) {
-	var imp types.Importer = l
-	if len(overrides) > 0 {
-		imp = overrideImporter{overrides: overrides, next: l}
-	}
+// check type-checks files as package path, resolving imports through the
+// loader itself (pre-seeded l.pkgs entries take precedence over loading
+// from disk — LoadDir uses that to substitute the test-augmented view).
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
 	var firstErr error
 	conf := types.Config{
-		Importer: imp,
+		Importer: l,
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err
@@ -280,16 +316,35 @@ func (l *Loader) check(path string, files []*ast.File, info *types.Info, overrid
 	return pkg, err
 }
 
-type overrideImporter struct {
-	overrides map[string]*types.Package
-	next      types.Importer
-}
-
-func (o overrideImporter) Import(path string) (*types.Package, error) {
-	if p, ok := o.overrides[path]; ok && p != nil {
-		return p, nil
+// importsPkg reports whether p (transitively) imports path. Source-
+// checked packages carry their full import graph, so the walk is exact.
+func importsPkg(p *types.Package, path string) bool {
+	if p == nil {
+		return false
 	}
-	return o.next.Import(path)
+	seen := map[*types.Package]bool{}
+	var walk func(q *types.Package) bool
+	walk = func(q *types.Package) bool {
+		if q.Path() == path {
+			return true
+		}
+		if seen[q] {
+			return false
+		}
+		seen[q] = true
+		for _, imp := range q.Imports() {
+			if walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, imp := range p.Imports() {
+		if walk(imp) {
+			return true
+		}
+	}
+	return false
 }
 
 func newInfo() *types.Info {

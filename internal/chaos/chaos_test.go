@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFromSpec(t *testing.T) {
+	inj, err := FromSpec("seed=42,panic@3,torn@5:128,flip@7,sink@9,cancel@11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := inj.Pending()
+	if len(pending) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(pending))
+	}
+	byFault := map[Fault]Event{}
+	for _, ev := range pending {
+		byFault[ev.Fault] = ev
+	}
+	if ev := byFault[ComputePanic]; ev.Superstep != 3 {
+		t.Fatalf("panic event = %v", ev)
+	}
+	if ev := byFault[TornWrite]; ev.Superstep != 5 || ev.Arg != 128 {
+		t.Fatalf("torn event = %v", ev)
+	}
+	if ev := byFault[BitFlip]; ev.Superstep != 7 || ev.Arg < 0 || ev.Arg >= 40*8 {
+		t.Fatalf("flip event = %v (arg must be a seed-derived header bit)", ev)
+	}
+	if ev := byFault[SinkError]; ev.Superstep != 9 {
+		t.Fatalf("sink event = %v", ev)
+	}
+	if ev := byFault[Cancel]; ev.Superstep != 11 {
+		t.Fatalf("cancel event = %v", ev)
+	}
+
+	// Determinism: the same spec parses to the same derived arguments.
+	again, err := FromSpec("seed=42,panic@3,torn@5:128,flip@7,sink@9,cancel@11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range again.Pending() {
+		if ev != pending[i] {
+			t.Fatalf("reparse event %d = %v, first parse %v", i, ev, pending[i])
+		}
+	}
+}
+
+func TestFromSpecRandBarrier(t *testing.T) {
+	inj, err := FromSpec("seed=3,panic@rand:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := inj.Pending()[0]
+	if ev.Superstep < 1 || ev.Superstep > 20 {
+		t.Fatalf("rand barrier %d outside [1, 20]", ev.Superstep)
+	}
+	again, _ := FromSpec("seed=3,panic@rand:20")
+	if again.Pending()[0] != ev {
+		t.Fatal("rand barrier is not seed-deterministic")
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"panic",           // no @superstep
+		"meteor@3",        // unknown fault
+		"panic@x",         // bad superstep
+		"panic@-1",        // negative superstep
+		"torn@3:-5",       // negative arg
+		"panic@3,seed=1",  // seed not first
+		"seed=zz,panic@3", // bad seed
+		"panic@rand",      // rand without bound
+		"panic@rand:0",    // empty rand range
+	} {
+		if _, err := FromSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestEventsFireOnce(t *testing.T) {
+	inj := New(1, Event{Fault: ComputePanic, Superstep: 2})
+	obs := inj.Observer()
+	obs.OnSuperstepStart(1)
+	if got := inj.armedPanic.Load(); got != 0 {
+		t.Fatalf("panic armed at the wrong superstep: %d", got)
+	}
+	obs.OnSuperstepStart(2)
+	if got := inj.armedPanic.Load(); got != 3 {
+		t.Fatalf("armedPanic = %d, want superstep+1 = 3", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("armed panic did not detonate")
+			}
+		}()
+		inj.maybePanic()
+	}()
+	inj.maybePanic() // disarmed: must not panic again
+	obs.OnSuperstepStart(2)
+	if got := inj.armedPanic.Load(); got != 0 {
+		t.Fatal("one-shot event re-armed on a second pass over its superstep")
+	}
+	if fired := inj.Fired(); len(fired) != 1 || fired[0].Fault != ComputePanic {
+		t.Fatalf("fired log = %v", fired)
+	}
+}
+
+func TestCancelEvent(t *testing.T) {
+	inj := New(1, Event{Fault: Cancel, Superstep: 4})
+	ctx, cancel := inj.Context(context.Background())
+	defer cancel()
+	obs := inj.Observer()
+	obs.OnSuperstepStart(3)
+	if ctx.Err() != nil {
+		t.Fatal("cancelled early")
+	}
+	obs.OnSuperstepStart(4)
+	if ctx.Err() == nil {
+		t.Fatal("cancel event did not cancel the attempt context")
+	}
+}
+
+func TestWrapSinkFaults(t *testing.T) {
+	inj := New(1,
+		Event{Fault: SinkError, Superstep: 2},
+		Event{Fault: TornWrite, Superstep: 3, Arg: 10},
+		Event{Fault: BitFlip, Superstep: 4, Arg: 8}, // flip bit 0 of byte 1
+	)
+	var last *bytes.Buffer
+	sink := inj.WrapSink(func(int) (io.Writer, error) {
+		last = &bytes.Buffer{}
+		return last, nil
+	})
+
+	if _, err := sink(1); err != nil {
+		t.Fatalf("clean superstep errored: %v", err)
+	}
+	if _, err := sink(2); err == nil || !strings.Contains(err.Error(), "injected sink error") {
+		t.Fatalf("sink@2 = %v", err)
+	}
+
+	w, err := sink(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := w.Write(make([]byte, 64))
+	if n != 10 || werr == nil {
+		t.Fatalf("torn write accepted %d bytes with err %v, want 10 bytes and an error", n, werr)
+	}
+	if _, werr = w.Write([]byte{1}); werr == nil {
+		t.Fatal("torn writer came back to life")
+	}
+
+	w, err = sink(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{0x00, 0x00, 0x00}
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := last.Bytes(); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("bit flip wrote % x, want 00 01 00", got)
+	}
+	if src[1] != 0 {
+		t.Fatal("bit flip mutated the caller's buffer")
+	}
+
+	// All events spent: further supersteps are clean.
+	w, err = sink(2)
+	if err != nil {
+		t.Fatalf("spent sink event fired again: %v", err)
+	}
+	if _, err := w.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if fired := inj.Fired(); len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+}

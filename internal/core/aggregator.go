@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // AggOp is a commutative, associative reduction over float64 used by
@@ -55,11 +56,32 @@ func (op AggOp) fold(a, b float64) float64 {
 // partial slot per worker per aggregator, merged at the barrier.
 type aggregators struct {
 	names map[string]int
-	ops   []AggOp
+	// ordered holds the registration-order name list, so checkpoint v2's
+	// aggregator section is deterministic (map iteration is not).
+	ordered []string
+	ops     []AggOp
 	// partials[worker][agg]
 	partials [][]float64
 	// current[agg] holds the merged value from the previous superstep.
 	current []float64
+	// restored holds aggregator state read from a v2 checkpoint, keyed by
+	// name, consumed by register. Run refuses to start while entries
+	// remain: a checkpointed aggregator the resuming program never
+	// registered means program and checkpoint do not match.
+	restored map[string]restoredAgg
+}
+
+type restoredAgg struct {
+	op    AggOp
+	value float64
+}
+
+// aggSnapshot is one aggregator's barrier state as persisted by
+// checkpoint v2.
+type aggSnapshot struct {
+	name  string
+	op    AggOp
+	value float64
 }
 
 func newAggregators(workers int) *aggregators {
@@ -71,12 +93,62 @@ func (a *aggregators) register(name string, op AggOp) error {
 		return fmt.Errorf("core: aggregator %q already registered", name)
 	}
 	a.names[name] = len(a.ops)
+	a.ordered = append(a.ordered, name)
 	a.ops = append(a.ops, op)
-	a.current = append(a.current, op.identity())
+	cur := op.identity()
+	// A Restored engine seeds the aggregator with the checkpointed
+	// barrier value instead of the identity, so programs whose control
+	// flow reads Aggregated (e.g. PageRankConverged's delta test) resume
+	// exactly where they stopped.
+	if r, ok := a.restored[name]; ok {
+		if r.op != op {
+			return fmt.Errorf("core: aggregator %q registered with operator %d but checkpointed with %d", name, op, r.op)
+		}
+		cur = r.value
+		delete(a.restored, name)
+	}
+	a.current = append(a.current, cur)
 	for w := range a.partials {
 		a.partials[w] = append(a.partials[w], op.identity())
 	}
 	return nil
+}
+
+// stash records one aggregator's checkpointed state for a later register
+// call to consume.
+func (a *aggregators) stash(name string, op AggOp, value float64) error {
+	if a.restored == nil {
+		a.restored = map[string]restoredAgg{}
+	}
+	if _, dup := a.restored[name]; dup {
+		return fmt.Errorf("core: checkpoint lists aggregator %q twice", name)
+	}
+	a.restored[name] = restoredAgg{op: op, value: value}
+	return nil
+}
+
+// unconsumed returns the names of checkpointed aggregators no register
+// call claimed, in sorted order.
+func (a *aggregators) unconsumed() []string {
+	if len(a.restored) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(a.restored))
+	for name := range a.restored {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot captures every aggregator's merged value in registration
+// order, for checkpointing at the barrier.
+func (a *aggregators) snapshot() []aggSnapshot {
+	out := make([]aggSnapshot, len(a.ordered))
+	for i, name := range a.ordered {
+		out[i] = aggSnapshot{name: name, op: a.ops[i], value: a.current[i]}
+	}
+	return out
 }
 
 func (a *aggregators) index(name string) int {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 
 	"ipregel/internal/graph"
 )
@@ -13,17 +16,18 @@ import (
 // Checkpointing implements the Pregel fault-tolerance mechanism the
 // vertex-centric model inherits (Malewicz et al. 2010, which the paper
 // builds on): at superstep barriers the engine persists vertex values,
-// activity flags, pending mailboxes and — under selection bypass — the
-// next frontier, so a crashed computation can resume from the last
-// barrier instead of superstep 0. The iPregel paper itself does not
-// evaluate fault tolerance; this is the standard-model extension a
-// production framework is expected to carry.
+// activity flags, pending mailboxes, aggregator state and — under
+// selection bypass — the next frontier, so a crashed computation can
+// resume from the last barrier instead of superstep 0. The iPregel paper
+// itself does not evaluate fault tolerance; this is the standard-model
+// extension a production framework is expected to carry.
 //
-// Limitation: aggregator state is not checkpointed. Programs whose
-// control flow depends on Aggregated values (e.g. PageRankConverged)
-// resume with the operator identity for one superstep, which can delay —
-// never corrupt — convergence-style decisions by a superstep; programs
-// using aggregators purely for reporting are unaffected.
+// Checkpoints are written in format v2: a versioned header, CRC32C-
+// protected sections with explicit lengths, and a footer that detects
+// truncation, so a torn or bit-flipped checkpoint is rejected at restore
+// (or skipped by FileSink.LatestGood) instead of silently resuming from
+// corrupt state. Restore also still reads the legacy v1 format (magic
+// "IPCK"), which had no integrity data and no aggregator section.
 
 // Codec serialises fixed-size values for checkpoints. The codecs of
 // internal/pregelplus (Uint32Codec, Float64Codec) satisfy this interface.
@@ -39,7 +43,10 @@ type Checkpointer[V, M any] struct {
 	// completed supersteps (≥1).
 	Every int
 	// Sink returns the destination for the checkpoint taken after the
-	// given superstep. The writer is not closed by the engine.
+	// given superstep. The writer is not closed by the engine; if it
+	// implements CheckpointCommitter the engine calls Commit after a
+	// fully-written checkpoint and Abort after a failed one (see
+	// FileSink for the atomic temp-file implementation).
 	Sink func(superstep int) (io.Writer, error)
 	// VCodec and MCodec serialise vertex values and pending messages.
 	VCodec Codec[V]
@@ -58,13 +65,205 @@ func (e *Engine[V, M]) SetCheckpointer(cp Checkpointer[V, M]) error {
 	return nil
 }
 
-var checkpointMagic = [4]byte{'I', 'P', 'C', 'K'}
+var (
+	checkpointMagicV1 = [4]byte{'I', 'P', 'C', 'K'}
+	checkpointMagicV2 = [4]byte{'I', 'P', 'C', '2'}
+	checkpointFooter  = [4]byte{'K', 'C', 'P', 'I'}
+)
 
-// writeCheckpoint dumps the barrier state: superstep, values, activity,
-// current mailboxes, and the bypass frontier.
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms this engine targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Format caps, mirroring graphio's Options.MaxVertices discipline: every
+// length a checkpoint declares is validated against a bound derived from
+// engine state the reader already trusts, before any allocation happens.
+const (
+	// maxCheckpointAggs bounds the aggregator count a header may declare.
+	maxCheckpointAggs = 1 << 12
+	// maxCheckpointSuperstep bounds the superstep counter a header may
+	// declare; anything larger is corruption, not a plausible run.
+	maxCheckpointSuperstep = 1 << 40
+	// maxAggNameLen bounds one aggregator name (a u8 length prefix).
+	maxAggNameLen = 255
+)
+
+// v2 section identifiers, in stream order.
+const (
+	sectionValues = iota
+	sectionActive
+	sectionMailbox
+	sectionFrontier
+	sectionAggregators
+	sectionCount
+)
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crcTable, p[:n])
+	return n, err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// writeCheckpoint dumps the barrier state in format v2: superstep,
+// values, activity, current mailboxes, the bypass frontier and the
+// aggregators' merged values, each section length-prefixed and CRC32C-
+// sealed, the whole record closed by a footer marker.
 func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+	if _, err := bw.Write(checkpointMagicV2[:]); err != nil {
+		return err
+	}
+	aggs := e.agg.snapshot()
+
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(e.superstep))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(e.slots))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(vc.Size()))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(mc.Size()))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(aggs)))
+	// hdr[28:32] reserved, zero.
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeU32(bw, crc32.Checksum(hdr[:], crcTable)); err != nil {
+		return err
+	}
+
+	section := func(length uint64, body func(cw *crcWriter) error) error {
+		if err := writeU64(bw, length); err != nil {
+			return err
+		}
+		cw := &crcWriter{w: bw}
+		if err := body(cw); err != nil {
+			return err
+		}
+		return writeU32(bw, cw.crc)
+	}
+
+	// Values.
+	vsize := vc.Size()
+	if err := section(uint64(e.slots)*uint64(vsize), func(cw *crcWriter) error {
+		vbuf := make([]byte, vsize)
+		for slot := 0; slot < e.slots; slot++ {
+			vc.Encode(vbuf, e.values[slot])
+			if _, err := cw.Write(vbuf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Activity flags.
+	if err := section(uint64(len(e.active)), func(cw *crcWriter) error {
+		_, err := cw.Write(e.active)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Mailboxes: one flag byte per slot, the message payload after each
+	// set flag. The length is computed from a pre-scan so the reader can
+	// bound its work before parsing.
+	msize := mc.Size()
+	occupied := 0
+	for slot := 0; slot < e.slots; slot++ {
+		if _, ok := e.mb.peek(slot); ok {
+			occupied++
+		}
+	}
+	if err := section(uint64(e.slots)+uint64(occupied)*uint64(msize), func(cw *crcWriter) error {
+		mbuf := make([]byte, msize)
+		for slot := 0; slot < e.slots; slot++ {
+			m, ok := e.mb.peek(slot)
+			if !ok {
+				if _, err := cw.Write([]byte{0}); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := cw.Write([]byte{1}); err != nil {
+				return err
+			}
+			mc.Encode(mbuf, m)
+			if _, err := cw.Write(mbuf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Bypass frontier.
+	if err := section(uint64(len(e.frontier))*4, func(cw *crcWriter) error {
+		var sbuf [4]byte
+		for _, slot := range e.frontier {
+			binary.LittleEndian.PutUint32(sbuf[:], uint32(slot))
+			if _, err := cw.Write(sbuf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Aggregators: closing the v1 limitation — programs whose control
+	// flow depends on Aggregated values (e.g. PageRankConverged) resume
+	// with the exact barrier state instead of the operator identity.
+	var ab bytes.Buffer
+	for _, a := range aggs {
+		if len(a.name) > maxAggNameLen {
+			return fmt.Errorf("core: aggregator name %q exceeds the %d-byte checkpoint limit", a.name, maxAggNameLen)
+		}
+		ab.WriteByte(byte(len(a.name)))
+		ab.WriteString(a.name)
+		ab.WriteByte(byte(a.op))
+		var fbuf [8]byte
+		binary.LittleEndian.PutUint64(fbuf[:], math.Float64bits(a.value))
+		ab.Write(fbuf[:])
+	}
+	if err := section(uint64(ab.Len()), func(cw *crcWriter) error {
+		_, err := cw.Write(ab.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+
+	if _, err := bw.Write(checkpointFooter[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeCheckpointV1 writes the legacy format (no integrity data, no
+// aggregator section). Kept for the Restore compatibility tests and the
+// v1 fuzz seeds; new checkpoints are always v2.
+func (e *Engine[V, M]) writeCheckpointV1(w io.Writer, vc Codec[V], mc Codec[M]) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(checkpointMagicV1[:]); err != nil {
 		return err
 	}
 	var hdr [16]byte
@@ -117,10 +316,16 @@ func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) er
 
 // Restore rebuilds an engine from a checkpoint taken with the same graph,
 // configuration and program, ready for Run to continue from the saved
-// barrier. Run's Report then covers only the resumed supersteps, with
-// Report.FirstSuperstep carrying the absolute superstep base so the
-// resumed Steps indices and observer events continue the original run's
-// numbering.
+// barrier. Both checkpoint formats are read: v2 ("IPC2", CRC-verified)
+// and legacy v1 ("IPCK"). Run's Report then covers only the resumed
+// supersteps, with Report.FirstSuperstep carrying the absolute superstep
+// base so the resumed Steps indices and observer events continue the
+// original run's numbering.
+//
+// A v2 checkpoint that carries aggregator state requires the program to
+// register the same aggregators (same names and operators) before Run;
+// RegisterAggregator then seeds each aggregator with the checkpointed
+// value instead of the operator identity.
 func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, M], vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
 	e, err := New(g, cfg, prog)
 	if err != nil {
@@ -131,22 +336,64 @@ func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, 
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	if magic != checkpointMagic {
-		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	switch magic {
+	case checkpointMagicV1:
+		return restoreV1(e, br, cfg, vc, mc)
+	case checkpointMagicV2:
+		return restoreV2(e, br, cfg, vc, mc)
 	}
+	return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+}
+
+// setSuperstep installs a restored superstep counter and carries the
+// absolute superstep base: observer events and the Report's Steps indices
+// from the resumed run continue the original numbering
+// (Report.FirstSuperstep) instead of silently restarting at 0. The
+// header's superstep counter is itself absolute, so a checkpoint of a
+// resumed run chains correctly through further resumes.
+func (e *Engine[V, M]) setSuperstep(superstep uint64) error {
+	if superstep > maxCheckpointSuperstep {
+		return fmt.Errorf("core: checkpoint superstep %d is implausible (corrupt header)", superstep)
+	}
+	e.superstep = int(superstep)
+	e.firstSuperstep = e.superstep
+	return nil
+}
+
+// restoreFrontier validates and installs a restored bypass frontier:
+// every slot in range, no duplicates, and only on an engine configured
+// with selection bypass.
+func (e *Engine[V, M]) restoreFrontier(frontier []int32, cfg Config) error {
+	if len(frontier) == 0 {
+		return nil
+	}
+	if !cfg.SelectionBypass {
+		return errors.New("core: checkpoint carries a frontier but the engine has no selection bypass")
+	}
+	seen := make([]uint8, e.slots)
+	for _, slot := range frontier {
+		if slot < 0 || int(slot) >= e.slots {
+			return fmt.Errorf("core: checkpoint frontier entry %d out of range (slots %d)", slot, e.slots)
+		}
+		if seen[slot] != 0 {
+			return fmt.Errorf("core: checkpoint frontier lists slot %d twice", slot)
+		}
+		seen[slot] = 1
+	}
+	e.frontier = frontier
+	return nil
+}
+
+func restoreV1[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	e.superstep = int(binary.LittleEndian.Uint64(hdr[0:]))
-	// Carry the absolute superstep base: observer events and the Report's
-	// Steps indices from the resumed run continue the original numbering
-	// (Report.FirstSuperstep) instead of silently restarting at 0. The
-	// header's superstep counter is itself absolute, so a checkpoint of a
-	// resumed run chains correctly through further resumes.
-	e.firstSuperstep = e.superstep
-	slots := int(binary.LittleEndian.Uint64(hdr[8:]))
-	if slots != e.slots {
+	if err := e.setSuperstep(binary.LittleEndian.Uint64(hdr[0:])); err != nil {
+		return nil, err
+	}
+	slots := binary.LittleEndian.Uint64(hdr[8:])
+	if slots != uint64(e.slots) {
 		return nil, fmt.Errorf("core: checkpoint has %d slots, engine has %d (graph or addressing mismatch)", slots, e.slots)
 	}
 	vbuf := make([]byte, vc.Size())
@@ -181,22 +428,245 @@ func Restore[V, M any](r io.Reader, g *graph.Graph, cfg Config, prog Program[V, 
 	if n > uint64(e.slots) {
 		return nil, fmt.Errorf("core: checkpoint frontier length %d exceeds slots", n)
 	}
-	if n > 0 && !cfg.SelectionBypass {
-		return nil, errors.New("core: checkpoint carries a frontier but the engine has no selection bypass")
-	}
+	frontier := make([]int32, 0, n)
 	var sbuf [4]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, sbuf[:]); err != nil {
 			return nil, fmt.Errorf("core: checkpoint frontier: %w", err)
 		}
-		e.frontier = append(e.frontier, int32(binary.LittleEndian.Uint32(sbuf[:])))
+		frontier = append(frontier, int32(binary.LittleEndian.Uint32(sbuf[:])))
+	}
+	if err := e.restoreFrontier(frontier, cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// sectionReader reads one v2 section: the declared length (validated
+// against a caller-supplied cap derived from trusted engine state), the
+// payload streamed through a CRC32C, and the stored checksum.
+type sectionReader struct {
+	br  *bufio.Reader
+	crc uint32
+	len uint64 // declared payload length
+	rd  uint64 // payload bytes consumed so far
+}
+
+func openSection(br *bufio.Reader, name string, min, max uint64) (*sectionReader, error) {
+	var lbuf [8]byte
+	if _, err := io.ReadFull(br, lbuf[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s section: %w", name, err)
+	}
+	n := binary.LittleEndian.Uint64(lbuf[:])
+	if n < min || n > max {
+		return nil, fmt.Errorf("core: checkpoint %s section length %d outside [%d, %d] (corrupt or hostile)", name, n, min, max)
+	}
+	return &sectionReader{br: br, len: n}, nil
+}
+
+// Read fills p from the section payload, failing if the declared length
+// would be exceeded.
+func (s *sectionReader) Read(p []byte) error {
+	if s.rd+uint64(len(p)) > s.len {
+		return fmt.Errorf("core: section payload shorter than its contents need")
+	}
+	if _, err := io.ReadFull(s.br, p); err != nil {
+		return err
+	}
+	s.crc = crc32.Update(s.crc, crcTable, p)
+	s.rd += uint64(len(p))
+	return nil
+}
+
+func (s *sectionReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if err := s.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// close verifies that the payload was fully consumed and the checksum
+// matches.
+func (s *sectionReader) close(name string) error {
+	if s.rd != s.len {
+		return fmt.Errorf("core: checkpoint %s section declares %d bytes but its contents use %d", name, s.len, s.rd)
+	}
+	var cbuf [4]byte
+	if _, err := io.ReadFull(s.br, cbuf[:]); err != nil {
+		return fmt.Errorf("core: checkpoint %s checksum: %w", name, err)
+	}
+	if want := binary.LittleEndian.Uint32(cbuf[:]); want != s.crc {
+		return fmt.Errorf("core: checkpoint %s section checksum mismatch (stored %08x, computed %08x)", name, want, s.crc)
+	}
+	return nil
+}
+
+func restoreV2[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
+	var hdr [32]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	var cbuf [4]byte
+	if _, err := io.ReadFull(br, cbuf[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint header checksum: %w", err)
+	}
+	if want := binary.LittleEndian.Uint32(cbuf[:]); want != crc32.Checksum(hdr[:], crcTable) {
+		return nil, fmt.Errorf("core: checkpoint header checksum mismatch (stored %08x)", want)
+	}
+	if err := e.setSuperstep(binary.LittleEndian.Uint64(hdr[0:])); err != nil {
+		return nil, err
+	}
+	slots := binary.LittleEndian.Uint64(hdr[8:])
+	if slots != uint64(e.slots) {
+		return nil, fmt.Errorf("core: checkpoint has %d slots, engine has %d (graph or addressing mismatch)", slots, e.slots)
+	}
+	vsize := uint64(vc.Size())
+	msize := uint64(mc.Size())
+	if got := binary.LittleEndian.Uint32(hdr[16:]); uint64(got) != vsize {
+		return nil, fmt.Errorf("core: checkpoint value size %d, codec expects %d", got, vsize)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[20:]); uint64(got) != msize {
+		return nil, fmt.Errorf("core: checkpoint message size %d, codec expects %d", got, msize)
+	}
+	naggs := binary.LittleEndian.Uint32(hdr[24:])
+	if naggs > maxCheckpointAggs {
+		return nil, fmt.Errorf("core: checkpoint declares %d aggregators (limit %d)", naggs, maxCheckpointAggs)
+	}
+
+	// Values: exact length.
+	want := uint64(e.slots) * vsize
+	sec, err := openSection(br, "values", want, want)
+	if err != nil {
+		return nil, err
+	}
+	vbuf := make([]byte, vc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		if err := sec.Read(vbuf); err != nil {
+			return nil, fmt.Errorf("core: checkpoint values: %w", err)
+		}
+		e.values[slot] = vc.Decode(vbuf)
+	}
+	if err := sec.close("values"); err != nil {
+		return nil, err
+	}
+
+	// Activity flags: exact length.
+	want = uint64(e.slots)
+	if sec, err = openSection(br, "activity", want, want); err != nil {
+		return nil, err
+	}
+	if err := sec.Read(e.active); err != nil {
+		return nil, fmt.Errorf("core: checkpoint activity: %w", err)
+	}
+	if err := sec.close("activity"); err != nil {
+		return nil, err
+	}
+	for slot, a := range e.active {
+		if a > 1 {
+			return nil, fmt.Errorf("core: checkpoint activity flag %d at slot %d (corrupt)", a, slot)
+		}
+	}
+
+	// Mailboxes: between "all empty" and "all occupied".
+	if sec, err = openSection(br, "mailbox", uint64(e.slots), uint64(e.slots)*(1+msize)); err != nil {
+		return nil, err
+	}
+	mbuf := make([]byte, mc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		flag, err := sec.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
+		}
+		switch flag {
+		case 0:
+		case 1:
+			if err := sec.Read(mbuf); err != nil {
+				return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
+			}
+			e.mb.restoreCurrent(slot, mc.Decode(mbuf))
+		default:
+			return nil, fmt.Errorf("core: checkpoint mailbox flag %d at slot %d (corrupt)", flag, slot)
+		}
+	}
+	if err := sec.close("mailbox"); err != nil {
+		return nil, err
+	}
+
+	// Frontier: at most one entry per slot.
+	if sec, err = openSection(br, "frontier", 0, uint64(e.slots)*4); err != nil {
+		return nil, err
+	}
+	if sec.len%4 != 0 {
+		return nil, fmt.Errorf("core: checkpoint frontier section length %d is not a multiple of 4", sec.len)
+	}
+	frontier := make([]int32, 0, sec.len/4)
+	var sbuf [4]byte
+	for i := uint64(0); i < sec.len/4; i++ {
+		if err := sec.Read(sbuf[:]); err != nil {
+			return nil, fmt.Errorf("core: checkpoint frontier: %w", err)
+		}
+		frontier = append(frontier, int32(binary.LittleEndian.Uint32(sbuf[:])))
+	}
+	if err := sec.close("frontier"); err != nil {
+		return nil, err
+	}
+	if err := e.restoreFrontier(frontier, cfg); err != nil {
+		return nil, err
+	}
+
+	// Aggregators: stashed on the engine and consumed by
+	// RegisterAggregator; Run refuses to start while unconsumed state
+	// remains (a program/checkpoint mismatch).
+	maxAggBytes := uint64(naggs) * (1 + maxAggNameLen + 1 + 8)
+	if sec, err = openSection(br, "aggregators", 0, maxAggBytes); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < naggs; i++ {
+		nameLen, err := sec.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint aggregators: %w", err)
+		}
+		nbuf := make([]byte, nameLen)
+		if err := sec.Read(nbuf); err != nil {
+			return nil, fmt.Errorf("core: checkpoint aggregators: %w", err)
+		}
+		opByte, err := sec.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint aggregators: %w", err)
+		}
+		if AggOp(opByte) > AggMax {
+			return nil, fmt.Errorf("core: checkpoint aggregator %q has unknown operator %d", nbuf, opByte)
+		}
+		var fbuf [8]byte
+		if err := sec.Read(fbuf[:]); err != nil {
+			return nil, fmt.Errorf("core: checkpoint aggregators: %w", err)
+		}
+		if err := e.agg.stash(string(nbuf), AggOp(opByte), math.Float64frombits(binary.LittleEndian.Uint64(fbuf[:]))); err != nil {
+			return nil, err
+		}
+	}
+	if err := sec.close("aggregators"); err != nil {
+		return nil, err
+	}
+
+	var footer [4]byte
+	if _, err := io.ReadFull(br, footer[:]); err != nil {
+		return nil, fmt.Errorf("core: checkpoint footer: %w (truncated checkpoint)", err)
+	}
+	if footer != checkpointFooter {
+		return nil, fmt.Errorf("core: bad checkpoint footer %q (truncated or corrupt)", footer)
 	}
 	return e, nil
 }
 
 // maybeCheckpoint is called by Run at each barrier, after the superstep
 // counter has advanced: the saved state is exactly "ready to execute
-// superstep e.superstep".
+// superstep e.superstep". When the sink's writer implements
+// CheckpointCommitter the write is transactional: Commit publishes a
+// fully-written checkpoint, Abort discards a failed one, so a crash (or
+// an injected fault) mid-write can never leave a half checkpoint where a
+// recovery supervisor would find it.
 func (e *Engine[V, M]) maybeCheckpoint() error {
 	cp := e.checkpoint
 	if cp == nil || e.superstep%cp.Every != 0 {
@@ -206,8 +676,19 @@ func (e *Engine[V, M]) maybeCheckpoint() error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint sink: %w", err)
 	}
-	if err := e.writeCheckpoint(w, cp.VCodec, cp.MCodec); err != nil {
-		return fmt.Errorf("core: checkpoint write: %w", err)
+	werr := e.writeCheckpoint(w, cp.VCodec, cp.MCodec)
+	if c, ok := w.(CheckpointCommitter); ok {
+		if werr != nil {
+			_ = c.Abort()
+			return fmt.Errorf("core: checkpoint write: %w", werr)
+		}
+		if err := c.Commit(); err != nil {
+			return fmt.Errorf("core: checkpoint commit: %w", err)
+		}
+		return nil
+	}
+	if werr != nil {
+		return fmt.Errorf("core: checkpoint write: %w", werr)
 	}
 	return nil
 }

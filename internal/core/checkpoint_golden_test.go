@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/checkpoint_v2.golden from the current writer")
+
+// goldenProg is ssspProg plus two aggregators, so the fixture exercises
+// every v2 section: values, activity, mailboxes, the bypass frontier and
+// a multi-entry aggregator table.
+func goldenProg() Program[uint32, uint32] {
+	base := ssspProg(1)
+	return Program[uint32, uint32]{
+		Combine: base.Combine,
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			ctx.Aggregate("ran", 1)
+			base.Compute(ctx, v)
+			ctx.Aggregate("min-dist", float64(*v.Value()))
+		},
+	}
+}
+
+func goldenConfig() Config {
+	// Single-threaded, spinlock, bypass: every byte of the barrier state
+	// is deterministic, so the fixture can be compared byte-for-byte.
+	return Config{Combiner: CombinerSpin, Threads: 1, SelectionBypass: true}
+}
+
+func goldenEngine(t testing.TB) *Engine[uint32, uint32] {
+	t.Helper()
+	e, err := New(gridForCheckpoint(t), goldenConfig(), goldenProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("ran", AggSum); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("min-dist", AggMin); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// goldenCheckpoint runs the golden engine and returns the checkpoint
+// taken at barrier 4 (mid-run: non-trivial values, mail in flight, a
+// non-empty frontier, aggregator state from barrier 3).
+func goldenCheckpoint(t testing.TB) []byte {
+	t.Helper()
+	e := goldenEngine(t)
+	var dump []byte
+	if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{
+		Every: 4,
+		Sink: func(s int) (io.Writer, error) {
+			if s != 4 {
+				return io.Discard, nil
+			}
+			return writerFunc(func(p []byte) (int, error) {
+				dump = append(dump, p...)
+				return len(p), nil
+			}), nil
+		},
+		VCodec: u32Codec{}, MCodec: u32Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 {
+		t.Fatal("no checkpoint captured at barrier 4")
+	}
+	return dump
+}
+
+const goldenPath = "testdata/checkpoint_v2.golden"
+
+// TestCheckpointV2Golden pins the on-disk format: the writer must
+// reproduce the checked-in fixture byte for byte. Accidental format
+// drift — reordered sections, a changed header field, a different CRC
+// polynomial — fails here instead of silently orphaning old checkpoints.
+// Deliberate format changes bump the magic to a new version and add a
+// new fixture; they do not rewrite this one.
+func TestCheckpointV2Golden(t *testing.T) {
+	got := goldenCheckpoint(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		limit := len(got)
+		if len(want) < limit {
+			limit = len(want)
+		}
+		for i := 0; i < limit; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("checkpoint v2 format drift: byte %d = %#02x, fixture has %#02x (lengths %d vs %d)", i, got[i], want[i], len(got), len(want))
+			}
+		}
+		t.Fatalf("checkpoint v2 format drift: length %d, fixture %d", len(got), len(want))
+	}
+}
+
+// TestCheckpointV2GoldenRestores proves the fixture is live: restoring
+// it and finishing the run must match an uninterrupted run exactly.
+func TestCheckpointV2GoldenRestores(t *testing.T) {
+	fixture, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
+	}
+	refE := goldenEngine(t)
+	refRep, err := refE.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(bytes.NewReader(fixture), gridForCheckpoint(t), goldenConfig(), goldenProg(), u32Codec{}, u32Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RegisterAggregator("ran", AggSum); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RegisterAggregator("min-dist", AggMin); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := restored.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstSuperstep != 4 || rep.Supersteps != refRep.Supersteps {
+		t.Fatalf("fixture resumed %d→%d, reference ended at %d", rep.FirstSuperstep, rep.Supersteps, refRep.Supersteps)
+	}
+	got, want := restored.ValuesDense(), refE.ValuesDense()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fixture resume: dist[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -50,7 +50,7 @@ func ssspProg(source graph.VertexID) Program[uint32, uint32] {
 	}
 }
 
-func gridForCheckpoint(t *testing.T) *graph.Graph {
+func gridForCheckpoint(t testing.TB) *graph.Graph {
 	t.Helper()
 	var b graph.Builder
 	b.BuildInEdges()

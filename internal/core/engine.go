@@ -167,6 +167,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 	if e.ran {
 		return Report{}, errors.New("core: engine already ran")
 	}
+	if orphans := e.agg.unconsumed(); len(orphans) > 0 {
+		return Report{}, fmt.Errorf("core: checkpoint carries aggregators %v the program never registered (program/checkpoint mismatch)", orphans)
+	}
 	e.ran = true
 	e.report.Version = e.cfg.VersionName()
 	e.report.FirstSuperstep = e.firstSuperstep
@@ -252,11 +255,14 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		}
 
 		e.superstep++
-		if err := e.maybeCheckpoint(); err != nil {
-			return e.finishRun(start, err)
-		}
 		if step.Messages == 0 && activeAfter == 0 {
 			break
+		}
+		// Checkpoint only barriers the run will continue from: a terminal
+		// (converged) barrier has nothing to resume, and a checkpoint of
+		// it would make a later Restore replay one empty superstep.
+		if err := e.maybeCheckpoint(); err != nil {
+			return e.finishRun(start, err)
 		}
 	}
 	return e.finishRun(start, nil)

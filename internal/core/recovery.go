@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"ipregel/internal/graph"
+)
+
+// RecoverySource hands a recovery supervisor the newest usable
+// checkpoint. FileSink implements it via LatestGood; tests implement it
+// over in-memory buffers.
+type RecoverySource interface {
+	// Latest returns a reader over the newest good checkpoint and its
+	// superstep, found=false when no checkpoint exists yet, or an error
+	// when the source itself failed (not when checkpoints are merely
+	// corrupt — those are skipped).
+	Latest() (r io.ReadCloser, superstep int, found bool, err error)
+}
+
+// RecoveryOptions tunes RunWithRecovery.
+type RecoveryOptions[V, M any] struct {
+	// MaxAttempts bounds the total number of run attempts, the first
+	// included (default 3).
+	MaxAttempts int
+	// Backoff is the sleep before the second attempt, doubling each
+	// retry (default 100ms; set Sleep to override how it is spent).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 5s).
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep, letting tests run the backoff schedule
+	// without real delays.
+	Sleep func(time.Duration)
+	// Setup runs on every freshly constructed or restored engine before
+	// the attempt starts — the place to register aggregators and
+	// observers that Config cannot carry.
+	Setup func(e *Engine[V, M]) error
+	// AttemptContext derives each attempt's context from the parent
+	// (attempt numbering starts at 1). The returned cancel func is
+	// called when the attempt ends. Fault injectors hook here to arm
+	// per-attempt cancellation; nil uses the parent context directly.
+	AttemptContext func(parent context.Context, attempt int) (context.Context, context.CancelFunc)
+	// OnRetry is called before each re-attempt with the attempt number
+	// that failed and its error — the hook telemetry uses to count
+	// recoveries.
+	OnRetry func(attempt int, err error)
+}
+
+func (o *RecoveryOptions[V, M]) defaults() {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// RunWithRecovery is the crash-recovery supervisor: it runs the program
+// to completion, and when an attempt fails — a compute panic, a
+// cancelled context, a checkpoint write error — it restores the newest
+// good checkpoint from src and retries, with bounded attempts and
+// exponential backoff. Each attempt resumes from the last barrier the
+// sink committed, so completed supersteps are never recomputed from
+// superstep 0 (the standard Pregel checkpoint recovery model).
+//
+// The returned engine is the one whose run finished (its Value/
+// ValuesDense hold the results); the Report is that run's, with
+// Report.Attempts and Report.Recoveries recording the supervisor's work.
+// Construction and restore errors are fatal — retrying cannot fix a
+// program/checkpoint mismatch — and a parent-context cancellation stops
+// the supervisor rather than burning attempts.
+func RunWithRecovery[V, M any](
+	ctx context.Context,
+	g *graph.Graph,
+	cfg Config,
+	prog Program[V, M],
+	cp Checkpointer[V, M],
+	src RecoverySource,
+	opts RecoveryOptions[V, M],
+) (*Engine[V, M], Report, error) {
+	opts.defaults()
+	if src == nil {
+		return nil, Report{}, errors.New("core: RunWithRecovery needs a RecoverySource (use the checkpointer's FileSink)")
+	}
+	backoff := opts.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
+		e, err := buildAttempt(g, cfg, prog, cp, src)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		if opts.Setup != nil {
+			if err := opts.Setup(e); err != nil {
+				return nil, Report{}, fmt.Errorf("core: recovery setup: %w", err)
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if opts.AttemptContext != nil {
+			attemptCtx, cancel = opts.AttemptContext(ctx, attempt)
+		}
+		rep, runErr := e.RunContext(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if runErr == nil {
+			rep.Attempts = attempt
+			rep.Recoveries = attempt - 1
+			e.report.Attempts = rep.Attempts
+			e.report.Recoveries = rep.Recoveries
+			return e, rep, nil
+		}
+		lastErr = runErr
+		if ctx.Err() != nil {
+			// The parent context is gone: the operator stopped the whole
+			// computation, not one attempt.
+			return e, rep, fmt.Errorf("core: recovery stopped, parent context done: %w", runErr)
+		}
+		if attempt < opts.MaxAttempts {
+			if opts.OnRetry != nil {
+				opts.OnRetry(attempt, runErr)
+			}
+			opts.Sleep(backoff)
+			backoff *= 2
+			if backoff > opts.MaxBackoff {
+				backoff = opts.MaxBackoff
+			}
+		}
+	}
+	return nil, Report{}, fmt.Errorf("core: run failed after %d attempts: %w", opts.MaxAttempts, lastErr)
+}
+
+// buildAttempt constructs one attempt's engine: restored from the newest
+// good checkpoint when one exists, fresh otherwise, the checkpointer
+// installed either way.
+func buildAttempt[V, M any](
+	g *graph.Graph,
+	cfg Config,
+	prog Program[V, M],
+	cp Checkpointer[V, M],
+	src RecoverySource,
+) (*Engine[V, M], error) {
+	r, _, found, err := src.Latest()
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery source: %w", err)
+	}
+	var e *Engine[V, M]
+	if found {
+		e, err = Restore(r, g, cfg, prog, cp.VCodec, cp.MCodec)
+		cerr := r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: recovery restore: %w", err)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("core: recovery restore: %w", cerr)
+		}
+	} else {
+		e, err = New(g, cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.SetCheckpointer(cp); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

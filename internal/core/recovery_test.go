@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakyProg wraps ssspProg so attempts 1..failures panic at superstep 3;
+// later attempts run clean. attempt is advanced by the Setup hook.
+type flakyProg struct {
+	attempt  int
+	failures int
+}
+
+func (fp *flakyProg) program() Program[uint32, uint32] {
+	base := ssspProg(1)
+	return Program[uint32, uint32]{
+		Combine: base.Combine,
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if fp.attempt <= fp.failures && ctx.Superstep() == 3 {
+				panic("flaky: injected failure")
+			}
+			base.Compute(ctx, v)
+		},
+	}
+}
+
+func recoveryFixture(t *testing.T) (cfg Config, cp Checkpointer[uint32, uint32], sink *FileSink) {
+	t.Helper()
+	cfg = Config{Combiner: CombinerSpin, Threads: 2, CheckInvariants: true}
+	sink, err := NewFileSink(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = Checkpointer[uint32, uint32]{Every: 1, Sink: sink.Sink, VCodec: u32Codec{}, MCodec: u32Codec{}}
+	return cfg, cp, sink
+}
+
+func TestRunWithRecoverySucceedsAfterFailures(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg, cp, sink := recoveryFixture(t)
+	refE, refRep, err := Run(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := &flakyProg{failures: 2}
+	var sleeps []time.Duration
+	var retries []int
+	e, rep, err := RunWithRecovery(context.Background(), g, cfg, fp.program(), cp, sink, RecoveryOptions[uint32, uint32]{
+		MaxAttempts: 4,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  15 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		Setup: func(*Engine[uint32, uint32]) error {
+			fp.attempt++
+			return nil
+		},
+		OnRetry: func(attempt int, err error) {
+			if err == nil {
+				t.Error("OnRetry with nil error")
+			}
+			retries = append(retries, attempt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 3 || rep.Recoveries != 2 {
+		t.Fatalf("attempts=%d recoveries=%d, want 3/2", rep.Attempts, rep.Recoveries)
+	}
+	if rep.Supersteps != refRep.Supersteps {
+		t.Fatalf("recovered run ended at %d, reference at %d", rep.Supersteps, refRep.Supersteps)
+	}
+	// Both failures hit superstep 3; each recovery resumes from barrier 3.
+	if rep.FirstSuperstep != 3 {
+		t.Fatalf("final attempt resumed from barrier %d, want 3", rep.FirstSuperstep)
+	}
+	got, want := e.ValuesDense(), refE.ValuesDense()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+	// Exponential backoff, capped by MaxBackoff.
+	if len(sleeps) != 2 || sleeps[0] != 10*time.Millisecond || sleeps[1] != 15*time.Millisecond {
+		t.Fatalf("backoff schedule = %v, want [10ms 15ms]", sleeps)
+	}
+}
+
+func TestRunWithRecoveryExhaustsAttempts(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg, cp, sink := recoveryFixture(t)
+	fp := &flakyProg{failures: 1 << 30} // never heals
+	_, _, err := RunWithRecovery(context.Background(), g, cfg, fp.program(), cp, sink, RecoveryOptions[uint32, uint32]{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		Setup: func(*Engine[uint32, uint32]) error {
+			fp.attempt++
+			return nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want exhaustion after 3 attempts", err)
+	}
+	if fp.attempt != 3 {
+		t.Fatalf("ran %d attempts, want 3", fp.attempt)
+	}
+}
+
+func TestRunWithRecoveryParentCancelStops(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg, cp, sink := recoveryFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts := 0
+	_, _, err := RunWithRecovery(ctx, g, cfg, ssspProg(1), cp, sink, RecoveryOptions[uint32, uint32]{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+		Setup: func(*Engine[uint32, uint32]) error {
+			attempts++
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("cancelled parent burned %d attempts, want 1", attempts)
+	}
+}
+
+func TestRunWithRecoveryValidation(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg, cp, sink := recoveryFixture(t)
+	if _, _, err := RunWithRecovery(context.Background(), g, cfg, ssspProg(1), cp, nil, RecoveryOptions[uint32, uint32]{}); err == nil {
+		t.Fatal("nil RecoverySource accepted")
+	}
+	// A Setup error is fatal, not retried.
+	attempts := 0
+	_, _, err := RunWithRecovery(context.Background(), g, cfg, ssspProg(1), cp, sink, RecoveryOptions[uint32, uint32]{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		Setup: func(*Engine[uint32, uint32]) error {
+			attempts++
+			return errors.New("bad setup")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad setup") {
+		t.Fatalf("err = %v, want the setup error", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("fatal setup error retried %d times", attempts)
+	}
+}
+
+// TestFileSinkPrunesAndSkipsCorrupt covers the sink's retention and
+// latest-good discovery directly: keep=2 retains the two newest
+// checkpoints, and corrupting the newest makes LatestGood fall back to
+// the one before it.
+func TestFileSinkPrunesAndSkipsCorrupt(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg, cp, sink := recoveryFixture(t)
+	e, err := New(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(cp); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := sink.committed()
+	if len(steps) != 2 {
+		t.Fatalf("keep=2 retained %v", steps)
+	}
+	newest := steps[len(steps)-1]
+	if newest != rep.Supersteps-1 {
+		// The terminal barrier is never checkpointed; the newest one is
+		// the barrier before convergence.
+		t.Fatalf("newest checkpoint at barrier %d, want %d", newest, rep.Supersteps-1)
+	}
+	r, got, found, err := sink.LatestGood()
+	if err != nil || !found || got != newest {
+		t.Fatalf("LatestGood = %d/%v/%v, want %d", got, found, err, newest)
+	}
+	r.Close()
+
+	// Corrupt the newest file; discovery must fall back.
+	path := filepath.Join(sink.dir, checkpointName(newest))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, got, found, err = sink.LatestGood()
+	if err != nil || !found || got != steps[0] {
+		t.Fatalf("LatestGood after corruption = %d/%v/%v, want fallback to %d", got, found, err, steps[0])
+	}
+	r.Close()
+}

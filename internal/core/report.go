@@ -102,6 +102,15 @@ type Report struct {
 	Aborted bool
 	// AbortReason is the abort error's text (empty when Converged).
 	AbortReason string
+	// Attempts is the number of run attempts a recovery supervisor made
+	// to produce this report: 1 for a run that needed no recovery, and
+	// always ≥1 when set by RunWithRecovery. 0 means the run was started
+	// directly via Run/RunContext with no supervisor.
+	Attempts int
+	// Recoveries is the number of checkpoint-based resumes the recovery
+	// supervisor performed before this report's run finished
+	// (Attempts-1 when Attempts is set).
+	Recoveries int
 	// Steps holds per-superstep statistics; Steps[i] is absolute
 	// superstep FirstSuperstep+i.
 	Steps []StepStats
@@ -111,6 +120,9 @@ type Report struct {
 // failed run's log line cannot be mistaken for a clean one.
 func (r Report) String() string {
 	s := fmt.Sprintf("%-18s supersteps=%-6d msgs=%-12d time=%v", r.Version, r.Supersteps, r.TotalMessages, r.Duration.Round(time.Microsecond))
+	if r.Recoveries > 0 {
+		s += fmt.Sprintf(" recoveries=%d", r.Recoveries)
+	}
 	if r.Aborted {
 		s += fmt.Sprintf(" ABORTED (%s)", r.AbortReason)
 	}

@@ -53,6 +53,7 @@ type Collector struct {
 	localCombines                    atomic.Uint64
 	casRetries                       atomic.Uint64
 	verticesRan                      atomic.Int64
+	recoveries                       atomic.Int64
 
 	// gauges (last barrier / last run)
 	currentSuperstep atomic.Int64
@@ -109,6 +110,16 @@ func (c *Collector) OnAbort(superstep int, reason string, err error) {
 	c.runsAborted.Add(1)
 }
 
+// RecordRecovery counts one checkpoint-based resume performed by a
+// recovery supervisor. It is not part of the Observer interface — the
+// supervisor sits above individual runs — so wire it through
+// core.RecoveryOptions.OnRetry:
+//
+//	OnRetry: func(int, error) { collector.RecordRecovery() }
+func (c *Collector) RecordRecovery() {
+	c.recoveries.Add(1)
+}
+
 // OnRunEnd implements core.Observer. Every run fires it exactly once,
 // so the run counters live here.
 func (c *Collector) OnRunEnd(r core.Report, err error) {
@@ -149,6 +160,7 @@ func (c *Collector) Snapshot() map[string]int64 {
 		"ipregel_runs_total":            c.runs.Load(),
 		"ipregel_runs_converged_total":  c.runsConverged.Load(),
 		"ipregel_runs_aborted_total":    c.runsAborted.Load(),
+		"ipregel_recoveries_total":      c.recoveries.Load(),
 		"ipregel_runs_active":           c.running.Load(),
 		"ipregel_supersteps_total":      c.supersteps.Load(),
 		"ipregel_messages_total":        int64(c.messages.Load()),

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"strings"
 	"sync"
@@ -196,4 +197,66 @@ func TestSnapshotTimestampAdvances(t *testing.T) {
 	if t1 := c.Snapshot()["ipregel_snapshot_unix_nanos"]; t1 <= t0 {
 		t.Fatalf("snapshot timestamp did not advance: %d -> %d", t0, t1)
 	}
+}
+
+// TestCollectorCountsRecoveries wires the collector into a recovery
+// supervisor run whose program fails once: the recoveries counter must
+// reflect the checkpoint-based resume, and the attempt's abort must be
+// visible alongside the eventual converged run.
+func TestCollectorCountsRecoveries(t *testing.T) {
+	c := NewCollector()
+	g := ring(16)
+	cfg := core.Config{Threads: 2, Observers: []core.Observer{c}}
+	sink, err := core.NewFileSink(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempt := 0
+	prog := flood(4)
+	compute := prog.Compute
+	prog.Compute = func(ctx *core.Context[uint32, uint32], v core.Vertex[uint32, uint32]) {
+		if attempt == 1 && ctx.Superstep() == 3 {
+			panic("telemetry recovery test: injected failure")
+		}
+		compute(ctx, v)
+	}
+	_, rep, err := core.RunWithRecovery(context.Background(), g, cfg, prog,
+		core.Checkpointer[uint32, uint32]{Every: 1, Sink: sink.Sink, VCodec: u32c{}, MCodec: u32c{}},
+		sink,
+		core.RecoveryOptions[uint32, uint32]{
+			MaxAttempts: 3,
+			Sleep:       func(time.Duration) {},
+			Setup: func(*core.Engine[uint32, uint32]) error {
+				attempt++
+				return nil
+			},
+			OnRetry: func(int, error) { c.RecordRecovery() },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recoveries != 1 {
+		t.Fatalf("report recoveries = %d, want 1", rep.Recoveries)
+	}
+	snap := c.Snapshot()
+	if got := snap["ipregel_recoveries_total"]; got != 1 {
+		t.Fatalf("ipregel_recoveries_total = %d, want 1", got)
+	}
+	if got := snap["ipregel_runs_aborted_total"]; got != 1 {
+		t.Fatalf("ipregel_runs_aborted_total = %d, want 1 (the failed attempt)", got)
+	}
+	if got := snap["ipregel_runs_converged_total"]; got != 1 {
+		t.Fatalf("ipregel_runs_converged_total = %d, want 1", got)
+	}
+}
+
+// u32c is a minimal uint32 codec for the recovery test's checkpoints.
+type u32c struct{}
+
+func (u32c) Size() int { return 4 }
+func (u32c) Encode(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func (u32c) Decode(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
