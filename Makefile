@@ -32,10 +32,11 @@ race:
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
-# Fault-injection gauntlet: the kill-anywhere crash matrix under the
-# race detector, the checkpoint Restore fuzz seeds, and a scripted
-# kill-and-resume of the faulttolerance example and the CLI recovery
-# flags (scripts/chaos_smoke.sh).
+# Fault-injection gauntlet: the kill-anywhere crash matrix (flat and
+# sharded — the CrashMatrix regex also matches TestCrashMatrixSharded)
+# under the race detector, the checkpoint Restore fuzz seeds, and a
+# scripted kill-and-resume of the faulttolerance example and the CLI
+# recovery flags, flat and -shards 4 (scripts/chaos_smoke.sh).
 chaos:
 	$(GO) test -race ./internal/core/ -run 'CrashMatrix|RunWithRecovery|FileSink'
 	$(GO) test ./internal/core/ -run 'FuzzRestore|RestoreV2DetectsCorruption|RestoreV1StillReads|CheckpointV2Golden'

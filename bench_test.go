@@ -239,6 +239,48 @@ func BenchmarkContention(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling sweeps the partitioned execution core over shard
+// counts on the atomic combiner: per-shard mailboxes shrink the CAS
+// target set, so cas-retries/op should fall as shards grow while the
+// routing layer's batching keeps runtime competitive with the
+// single-shard engine (results recorded in results/BENCH_shards.json).
+func BenchmarkShardScaling(b *testing.B) {
+	wiki, _ := benchGraphs()
+	apps := []struct {
+		name string
+		run  func(cfg core.Config) (core.Report, error)
+	}{
+		{"PageRank", func(cfg core.Config) (core.Report, error) {
+			_, rep, err := algorithms.PageRank(wiki, cfg, benchPRRounds)
+			return rep, err
+		}},
+		{"WCC", func(cfg core.Config) (core.Report, error) {
+			_, rep, err := algorithms.WCC(wiki, cfg)
+			return rep, err
+		}},
+	}
+	for _, app := range apps {
+		for _, shards := range []int{1, 2, 4, 8} {
+			cfg := core.Config{Combiner: core.CombinerAtomic, Shards: shards}
+			b.Run(fmt.Sprintf("%s/shards=%d", app.name, shards), func(b *testing.B) {
+				var retries, cross float64
+				for i := 0; i < b.N; i++ {
+					rep, err := app.run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, s := range rep.Steps {
+						retries += float64(s.CASRetries)
+						cross += float64(s.CrossShardMessages)
+					}
+				}
+				b.ReportMetric(retries/float64(b.N), "cas-retries/op")
+				b.ReportMetric(cross/float64(b.N), "cross-shard-msgs/op")
+			})
+		}
+	}
+}
+
 // BenchmarkCombinerBaseline measures what sender-side combining buys the
 // Pregel+ baseline (message volume → wire bytes → inbox growth).
 func BenchmarkCombinerBaseline(b *testing.B) {

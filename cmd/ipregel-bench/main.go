@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		list    = fs.Bool("list", false, "list experiments")
 		divisor = fs.Int("divisor", 0, "graph scale divisor (default 64 = 1/64 of the paper's graphs)")
 		threads = fs.Int("threads", 0, "iPregel worker threads (default GOMAXPROCS)")
+		shards  = fs.Int("shards", 1, "iPregel execution shards (1 = classic single-shard engine; pull-combiner cells stay single-shard)")
 		quick   = fs.Bool("quick", false, "fewer repetitions and smaller sweeps")
 		rounds  = fs.Int("pagerank-rounds", 0, "PageRank iterations (default 30, as in the paper)")
 		csvDir  = fs.String("csv", "", "also write figure data series as CSV files into this directory")
@@ -67,7 +68,10 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	o := &bench.Options{Divisor: *divisor, Threads: *threads, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+	}
+	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
 	switch {
 	case *all:
 		return bench.RunAll(o, out)

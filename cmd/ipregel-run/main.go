@@ -54,6 +54,8 @@ func run(args []string, out io.Writer) error {
 		combining = fs.Bool("sender-combining", false, "pre-combine repeated sends worker-locally before touching the shared mailbox (push combiners)")
 		bypass    = fs.Bool("bypass", false, "enable selection bypass (Hashmin/SSSP only)")
 		threads   = fs.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		shards    = fs.Int("shards", 1, "iPregel execution shards: partitioned slot space with per-shard mailboxes (1 = classic single-shard engine)")
+		partition = fs.String("partition", "range", "iPregel shard partitioner: range | hash (with -shards > 1)")
 		rounds    = fs.Int("rounds", 30, "PageRank iterations")
 		source    = fs.Uint("source", 2, "SSSP/BFS source vertex identifier")
 		nodes     = fs.Int("nodes", 1, "pregelplus: simulated node count")
@@ -69,6 +71,24 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// -threads 0 means "use GOMAXPROCS", but only as the untouched
+	// default: an explicit -threads 0 (or negative) is a mistake the
+	// engine would silently paper over, so reject it here.
+	var threadsSet bool
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "threads" {
+			threadsSet = true
+		}
+	})
+	if threadsSet && *threads < 1 {
+		return fmt.Errorf("-threads must be at least 1 (got %d); omit the flag to use all processors", *threads)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+	}
+	if *shards > 1 && *framework != "ipregel" {
+		return fmt.Errorf("-shards is an iPregel engine feature; -framework %s does not support it", *framework)
 	}
 	if *chaosSpec != "" && *ckptDir == "" {
 		return fmt.Errorf("-chaos needs -checkpoint-dir: injected faults are only survivable with checkpoints")
@@ -105,6 +125,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	part, err := core.ParsePartition(*partition)
+	if err != nil {
+		return err
+	}
 	cfg := core.Config{
 		Combiner:        comb,
 		Addressing:      addr,
@@ -112,6 +136,8 @@ func run(args []string, out io.Writer) error {
 		SenderCombining: *combining,
 		SelectionBypass: *bypass,
 		Threads:         *threads,
+		Shards:          *shards,
+		Partition:       part,
 	}
 
 	// Telemetry sinks observe the engine via Config.Observers; all hooks

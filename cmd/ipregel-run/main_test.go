@@ -31,6 +31,8 @@ func TestRunAppsOnGeneratedGraphs(t *testing.T) {
 		{[]string{"-app", "sssp", "-graph", "ring:20", "-framework", "femtograph"}, "femtograph-style"},
 		{[]string{"-app", "hashmin", "-graph", "ring:10", "-v"}, "superstep"},
 		{[]string{"-app", "wcc", "-graph", "chain:10"}, "weak components: 1"},
+		{[]string{"-app", "sssp", "-graph", "road:10:10", "-combiner", "atomic", "-shards", "4", "-source", "1"}, "reached: 100 of 100"},
+		{[]string{"-app", "hashmin", "-graph", "ring:30", "-shards", "2", "-partition", "hash", "-bypass"}, "components: 1"},
 		{[]string{"-app", "scc", "-graph", "ring:12"}, "strong components: 1"},
 		{[]string{"-app", "reach64", "-graph", "chain:10", "-source", "0"}, "reached: 10 of 10"},
 	}
@@ -86,6 +88,38 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunFlagValidation pins the -threads/-shards argument checks: an
+// explicit non-positive -threads is a usage error (the unset default 0
+// still means GOMAXPROCS), and -shards must be positive and is an
+// iPregel-only feature.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantSub string
+	}{
+		{[]string{"-threads", "0", "-graph", "ring:5"}, "-threads must be at least 1"},
+		{[]string{"-threads", "-2", "-graph", "ring:5"}, "-threads must be at least 1"},
+		{[]string{"-shards", "0", "-graph", "ring:5"}, "-shards must be at least 1"},
+		{[]string{"-shards", "-1", "-graph", "ring:5"}, "-shards must be at least 1"},
+		{[]string{"-shards", "2", "-framework", "pregelplus", "-graph", "ring:5"}, "does not support"},
+		{[]string{"-shards", "2", "-partition", "bogus", "-graph", "ring:5"}, "partition"},
+		{[]string{"-shards", "2", "-combiner", "broadcast", "-graph", "ring:5"}, "pull"},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		err := run(c.args, &sb)
+		if err == nil {
+			t.Fatalf("args %v: expected error", c.args)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("args %v: error %q does not mention %q", c.args, err, c.wantSub)
+		}
+	}
+	// The untouched default (-threads omitted) must keep meaning "all
+	// processors" — no error.
+	runOK(t, "-app", "hashmin", "-graph", "ring:10")
+}
+
 // TestRunRecoverable drives the -checkpoint-dir / -chaos path: every
 // supported app survives an injected mid-run panic, reports the
 // recovery, and still prints its usual summary line.
@@ -97,6 +131,7 @@ func TestRunRecoverable(t *testing.T) {
 	}{
 		{"sssp", []string{"-graph", "road:10:10", "-combiner", "spinlock", "-bypass", "-source", "1"}, "reached: 100 of 100"},
 		{"hashmin", []string{"-graph", "road:8:8", "-combiner", "atomic"}, "components: 1"},
+		{"sssp", []string{"-graph", "road:10:10", "-combiner", "atomic", "-shards", "4", "-source", "1"}, "reached: 100 of 100"},
 		{"pagerank", []string{"-graph", "rmat:7:4", "-rounds", "8"}, "ranks computed for 128 vertices"},
 		{"pagerank-converged", []string{"-graph", "rmat:7:4"}, "converged in"},
 	}

@@ -4,10 +4,11 @@
 // run time: the atomic combiner needs word-sized messages, selection
 // bypass needs every vertex to vote to halt each superstep (§4), Context
 // and Vertex handles are slot views valid only inside the current Compute
-// call, combiners must be pure, and the lock-free mailbox fields tolerate
-// no plain element access. The five analyzers here move those contracts
-// to lint time; Config.CheckInvariants in internal/core is their runtime
-// complement for what lint cannot prove.
+// call, combiners must be pure, the lock-free mailbox fields tolerate no
+// plain element access, and shard-owned arrays are indexed by local slot
+// only. The analyzers here move those contracts to lint time;
+// Config.CheckInvariants in internal/core is their runtime complement for
+// what lint cannot prove.
 //
 // The Analyzer/Pass/Diagnostic shapes deliberately mirror
 // golang.org/x/tools/go/analysis so the analyzers could be ported to a
@@ -86,9 +87,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the five ipregel-vet analyzers in reporting order.
+// All returns the ipregel-vet analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MsgWord, CtxEscape, BypassHalt, SendPhase, NakedAtomic}
+	return []*Analyzer{MsgWord, CtxEscape, BypassHalt, SendPhase, NakedAtomic, ShardLocal}
 }
 
 // Run executes the analyzers over one target and returns the surviving

@@ -51,6 +51,7 @@ func TestCtxEscapeFixture(t *testing.T)   { testFixture(t, CtxEscape, "ctxescape
 func TestBypassHaltFixture(t *testing.T)  { testFixture(t, BypassHalt, "bypasshalt") }
 func TestSendPhaseFixture(t *testing.T)   { testFixture(t, SendPhase, "sendphase") }
 func TestNakedAtomicFixture(t *testing.T) { testFixture(t, NakedAtomic, "nakedatomic") }
+func TestShardLocalFixture(t *testing.T)  { testFixture(t, ShardLocal, "shardlocal") }
 func TestSuppressFixture(t *testing.T)    { testFixture(t, MsgWord, "suppress") }
 
 func testFixture(t *testing.T, a *Analyzer, fixture string) {

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// shardLocalDirective marks a slice-typed struct field that is indexed by
+// LOCAL slot: the field belongs to one shard of a partitioned engine, and
+// its index space is the shard's own dense [0, localSlots) numbering, not
+// the engine's global slot space. internal/core marks the per-shard value,
+// activity and dedup-flag arrays this way.
+const shardLocalDirective = "ipregel:shardlocal"
+
+// ShardLocal enforces the partition layer's index discipline: a
+// shard-owned array indexed with a global slot reads (or corrupts)
+// another vertex's state whenever the engine runs with more than one
+// shard — a bug the single-shard tests cannot catch, because there
+// global and local slots coincide. The check is lexical by design: the
+// convention in internal/core is that local-slot variables are named
+// `local` (or local-prefixed), so an index built from a global-sounding
+// name (`slot`, `dst`, `src`, `shift`, `global…`) is reported. Translate
+// through partitioner.locate first and index with the local half.
+var ShardLocal = &Analyzer{
+	Name: "shardlocal",
+	Doc: `flag global-slot indexing of //ipregel:shardlocal-marked fields
+
+Struct fields documented with an //ipregel:shardlocal directive hold one
+shard's slice of a partitioned array, indexed by the shard's local slot
+numbering. Indexing one with an expression mentioning a global-slot
+identifier (slot, dst, src, shift, or a global…-prefixed name) is
+reported: on a multi-shard engine that index addresses a different
+vertex than intended. Convert with partitioner.locate and index with a
+local-named variable. The directive is scoped to the declaring package.`,
+	Run: runShardLocal,
+}
+
+func runShardLocal(pass *Pass) error {
+	info := pass.TypesInfo
+
+	marked := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !directiveOn([]*ast.CommentGroup{field.Doc, field.Comment}, shardLocalDirective) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						marked[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := idx.X.(*ast.SelectorExpr)
+		if !ok || !marked[info.Uses[sel.Sel]] {
+			return true
+		}
+		if name := globalLookingIndex(idx.Index); name != "" {
+			pass.Reportf(idx.Pos(), "shard-owned %s indexed with global-slot identifier %q: the field is marked //ipregel:shardlocal (local slot space); translate through partitioner.locate and index with the local slot", sel.Sel.Name, name)
+		}
+		return true
+	})
+	return nil
+}
+
+// globalLookingIndex returns the first identifier in the index expression
+// whose name marks it as a global slot, or "" when the index looks local.
+// local…-prefixed names are always accepted, matching the naming
+// convention the directive's contract relies on.
+func globalLookingIndex(e ast.Expr) string {
+	bad := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		if strings.HasPrefix(name, "local") {
+			return true
+		}
+		switch {
+		case name == "dst" || name == "src" || name == "shift",
+			strings.HasPrefix(name, "slot"),
+			strings.HasPrefix(name, "global"):
+			bad = id.Name
+		}
+		return true
+	})
+	return bad
+}

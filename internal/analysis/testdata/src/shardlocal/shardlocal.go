@@ -1,0 +1,63 @@
+// Fixture for the shardlocal analyzer: fields marked //ipregel:shardlocal
+// hold one shard's slice of a partitioned array and may only be indexed
+// with local slots; a global-sounding index identifier is reported.
+package shardlocal
+
+type shard struct {
+	// values is this shard's slice of the vertex values, indexed by
+	// local slot.
+	//
+	//ipregel:shardlocal
+	values []float64
+
+	//ipregel:shardlocal
+	active []uint8
+
+	// globalIndex is unmarked: any index is fine.
+	globalIndex []int32
+}
+
+type part struct{}
+
+func (part) locate(slot int) (int, int) { return 0, slot }
+
+func localOK(sh *shard, local int) float64 {
+	return sh.values[local] // local-named index: fine
+}
+
+func localPrefixOK(sh *shard, localSlot int) {
+	sh.active[localSlot] = 1 // local-prefixed: fine
+}
+
+func constantOK(sh *shard) float64 {
+	return sh.values[0] // constant index: fine
+}
+
+func translatedOK(p part, sh *shard, slot int) float64 {
+	_, local := p.locate(slot)
+	return sh.values[local] // translated through locate: fine
+}
+
+func globalSlot(sh *shard, slot int) float64 {
+	return sh.values[slot] // want `shard-owned values indexed with global-slot identifier "slot"`
+}
+
+func globalDst(sh *shard, dst int) {
+	sh.active[dst] = 1 // want `shard-owned active indexed with global-slot identifier "dst"`
+}
+
+func globalArith(sh *shard, slot, shift int) float64 {
+	return sh.values[slot-shift] // want `shard-owned values indexed with global-slot identifier "slot"`
+}
+
+func globalPrefixed(sh *shard, globalSlot int) float64 {
+	return sh.values[globalSlot] // want `shard-owned values indexed with global-slot identifier "globalSlot"`
+}
+
+func unmarkedFieldOK(sh *shard, slot int) int32 {
+	return sh.globalIndex[slot] // unmarked field: fine
+}
+
+func fieldAsIndexOK(sh *shard, xs []int, local int) int {
+	return xs[int(sh.active[local])] // marked field inside the index, not indexed: fine
+}

@@ -141,7 +141,13 @@ func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) er
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(vc.Size()))
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(mc.Size()))
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(aggs)))
-	// hdr[28:32] reserved, zero.
+	// hdr[28:32] is the shard count: 0 marks the flat single-shard
+	// layout (byte-identical to checkpoints written before sharding
+	// existed), ≥2 the per-shard section layout (a topology section,
+	// then one values/activity/mailbox section triplet per shard).
+	if e.nShards > 1 {
+		binary.LittleEndian.PutUint32(hdr[28:], uint32(e.nShards))
+	}
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -160,65 +166,91 @@ func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) er
 		return writeU32(bw, cw.crc)
 	}
 
-	// Values.
-	vsize := vc.Size()
-	if err := section(uint64(e.slots)*uint64(vsize), func(cw *crcWriter) error {
-		vbuf := make([]byte, vsize)
-		for slot := 0; slot < e.slots; slot++ {
-			vc.Encode(vbuf, e.values[slot])
-			if _, err := cw.Write(vbuf); err != nil {
-				return err
-			}
+	if e.nShards > 1 {
+		if err := e.writeShardSections(section, vc, mc); err != nil {
+			return err
 		}
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	// Activity flags.
-	if err := section(uint64(len(e.active)), func(cw *crcWriter) error {
-		_, err := cw.Write(e.active)
-		return err
-	}); err != nil {
-		return err
-	}
-
-	// Mailboxes: one flag byte per slot, the message payload after each
-	// set flag. The length is computed from a pre-scan so the reader can
-	// bound its work before parsing.
-	msize := mc.Size()
-	occupied := 0
-	for slot := 0; slot < e.slots; slot++ {
-		if _, ok := e.mb.peek(slot); ok {
-			occupied++
-		}
-	}
-	if err := section(uint64(e.slots)+uint64(occupied)*uint64(msize), func(cw *crcWriter) error {
-		mbuf := make([]byte, msize)
-		for slot := 0; slot < e.slots; slot++ {
-			m, ok := e.mb.peek(slot)
-			if !ok {
-				if _, err := cw.Write([]byte{0}); err != nil {
+	} else {
+		// Values.
+		vsize := vc.Size()
+		if err := section(uint64(e.slots)*uint64(vsize), func(cw *crcWriter) error {
+			vbuf := make([]byte, vsize)
+			for slot := 0; slot < e.slots; slot++ {
+				vc.Encode(vbuf, e.values[slot])
+				if _, err := cw.Write(vbuf); err != nil {
 					return err
 				}
-				continue
 			}
-			if _, err := cw.Write([]byte{1}); err != nil {
-				return err
-			}
-			mc.Encode(mbuf, m)
-			if _, err := cw.Write(mbuf); err != nil {
-				return err
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		// Activity flags.
+		if err := section(uint64(len(e.active)), func(cw *crcWriter) error {
+			_, err := cw.Write(e.active)
+			return err
+		}); err != nil {
+			return err
+		}
+
+		// Mailboxes: one flag byte per slot, the message payload after each
+		// set flag. The length is computed from a pre-scan so the reader can
+		// bound its work before parsing.
+		msize := mc.Size()
+		occupied := 0
+		for slot := 0; slot < e.slots; slot++ {
+			if _, ok := e.mb.peek(slot); ok {
+				occupied++
 			}
 		}
-		return nil
-	}); err != nil {
-		return err
+		if err := section(uint64(e.slots)+uint64(occupied)*uint64(msize), func(cw *crcWriter) error {
+			mbuf := make([]byte, msize)
+			for slot := 0; slot < e.slots; slot++ {
+				m, ok := e.mb.peek(slot)
+				if !ok {
+					if _, err := cw.Write([]byte{0}); err != nil {
+						return err
+					}
+					continue
+				}
+				if _, err := cw.Write([]byte{1}); err != nil {
+					return err
+				}
+				mc.Encode(mbuf, m)
+				if _, err := cw.Write(mbuf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 
-	// Bypass frontier.
-	if err := section(uint64(len(e.frontier))*4, func(cw *crcWriter) error {
+	// Bypass frontier, always in global slots: a sharded engine
+	// translates its per-shard local frontiers through the partitioner,
+	// so the section's meaning is layout-independent.
+	frontierLen := uint64(len(e.frontier))
+	if e.nShards > 1 {
+		frontierLen = 0
+		for _, sh := range e.shards {
+			frontierLen += uint64(len(sh.frontier))
+		}
+	}
+	if err := section(frontierLen*4, func(cw *crcWriter) error {
 		var sbuf [4]byte
+		if e.nShards > 1 {
+			for s, sh := range e.shards {
+				for _, local := range sh.frontier {
+					binary.LittleEndian.PutUint32(sbuf[:], uint32(e.part.globalOf(s, int(local))))
+					if _, err := cw.Write(sbuf[:]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
 		for _, slot := range e.frontier {
 			binary.LittleEndian.PutUint32(sbuf[:], uint32(slot))
 			if _, err := cw.Write(sbuf[:]); err != nil {
@@ -256,6 +288,82 @@ func (e *Engine[V, M]) writeCheckpoint(w io.Writer, vc Codec[V], mc Codec[M]) er
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeShardSections writes the sharded v2 body: a topology section (the
+// partition kind and every shard's local slot count, so restore can
+// reject a shard-layout mismatch before parsing state), then one
+// values/activity/mailbox section triplet per shard in local-slot order.
+// Each section is CRC-sealed independently, so corruption is localised
+// to a shard at restore time.
+func (e *Engine[V, M]) writeShardSections(section func(length uint64, body func(cw *crcWriter) error) error, vc Codec[V], mc Codec[M]) error {
+	if err := section(1+8*uint64(e.nShards), func(cw *crcWriter) error {
+		if _, err := cw.Write([]byte{byte(e.cfg.Partition)}); err != nil {
+			return err
+		}
+		var b [8]byte
+		for s := 0; s < e.nShards; s++ {
+			binary.LittleEndian.PutUint64(b[:], uint64(e.part.localSlots(s)))
+			if _, err := cw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	vsize, msize := vc.Size(), mc.Size()
+	vbuf := make([]byte, vsize)
+	mbuf := make([]byte, msize)
+	for _, sh := range e.shards {
+		localN := len(sh.values)
+		if err := section(uint64(localN)*uint64(vsize), func(cw *crcWriter) error {
+			for local := 0; local < localN; local++ {
+				vc.Encode(vbuf, sh.values[local])
+				if _, err := cw.Write(vbuf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := section(uint64(len(sh.active)), func(cw *crcWriter) error {
+			_, err := cw.Write(sh.active)
+			return err
+		}); err != nil {
+			return err
+		}
+		occupied := 0
+		for local := 0; local < localN; local++ {
+			if _, ok := sh.mb.peek(local); ok {
+				occupied++
+			}
+		}
+		if err := section(uint64(localN)+uint64(occupied)*uint64(msize), func(cw *crcWriter) error {
+			for local := 0; local < localN; local++ {
+				m, ok := sh.mb.peek(local)
+				if !ok {
+					if _, err := cw.Write([]byte{0}); err != nil {
+						return err
+					}
+					continue
+				}
+				if _, err := cw.Write([]byte{1}); err != nil {
+					return err
+				}
+				mc.Encode(mbuf, m)
+				if _, err := cw.Write(mbuf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeCheckpointV1 writes the legacy format (no integrity data, no
@@ -380,6 +488,15 @@ func (e *Engine[V, M]) restoreFrontier(frontier []int32, cfg Config) error {
 		}
 		seen[slot] = 1
 	}
+	if e.nShards > 1 {
+		// Scatter the global entries into the owning shards' local
+		// frontiers; the compute phase consumes them per shard.
+		for _, slot := range frontier {
+			s, local := e.part.locate(int(slot))
+			e.shards[s].frontier = append(e.shards[s].frontier, int32(local))
+		}
+		return nil
+	}
 	e.frontier = frontier
 	return nil
 }
@@ -401,10 +518,22 @@ func restoreV1[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec
 		if _, err := io.ReadFull(br, vbuf); err != nil {
 			return nil, fmt.Errorf("core: checkpoint values: %w", err)
 		}
-		e.values[slot] = vc.Decode(vbuf)
+		e.setValueAt(slot, vc.Decode(vbuf))
 	}
-	if _, err := io.ReadFull(br, e.active); err != nil {
-		return nil, fmt.Errorf("core: checkpoint activity: %w", err)
+	// v1 predates sharding and stores activity in global slot order; a
+	// sharded engine scatters the flags through the partitioner.
+	if e.nShards == 1 {
+		if _, err := io.ReadFull(br, e.active); err != nil {
+			return nil, fmt.Errorf("core: checkpoint activity: %w", err)
+		}
+	} else {
+		abuf := make([]byte, e.slots)
+		if _, err := io.ReadFull(br, abuf); err != nil {
+			return nil, fmt.Errorf("core: checkpoint activity: %w", err)
+		}
+		for slot, a := range abuf {
+			e.setActiveAt(slot, a)
+		}
 	}
 	mbuf := make([]byte, mc.Size())
 	for slot := 0; slot < e.slots; slot++ {
@@ -418,7 +547,7 @@ func restoreV1[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec
 		if _, err := io.ReadFull(br, mbuf); err != nil {
 			return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
 		}
-		e.mb.restoreCurrent(slot, mc.Decode(mbuf))
+		e.restoreCurrentAt(slot, mc.Decode(mbuf))
 	}
 	var flen [8]byte
 	if _, err := io.ReadFull(br, flen[:]); err != nil {
@@ -502,6 +631,167 @@ func (s *sectionReader) close(name string) error {
 	return nil
 }
 
+// readFlatSections reads the single-shard v2 body: one values, activity
+// and mailbox section over the flat global slot space.
+func readFlatSections[V, M any](e *Engine[V, M], br *bufio.Reader, vc Codec[V], mc Codec[M]) error {
+	vsize := uint64(vc.Size())
+	msize := uint64(mc.Size())
+
+	// Values: exact length.
+	want := uint64(e.slots) * vsize
+	sec, err := openSection(br, "values", want, want)
+	if err != nil {
+		return err
+	}
+	vbuf := make([]byte, vc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		if err := sec.Read(vbuf); err != nil {
+			return fmt.Errorf("core: checkpoint values: %w", err)
+		}
+		e.values[slot] = vc.Decode(vbuf)
+	}
+	if err := sec.close("values"); err != nil {
+		return err
+	}
+
+	// Activity flags: exact length.
+	want = uint64(e.slots)
+	if sec, err = openSection(br, "activity", want, want); err != nil {
+		return err
+	}
+	if err := sec.Read(e.active); err != nil {
+		return fmt.Errorf("core: checkpoint activity: %w", err)
+	}
+	if err := sec.close("activity"); err != nil {
+		return err
+	}
+	for slot, a := range e.active {
+		if a > 1 {
+			return fmt.Errorf("core: checkpoint activity flag %d at slot %d (corrupt)", a, slot)
+		}
+	}
+
+	// Mailboxes: between "all empty" and "all occupied".
+	if sec, err = openSection(br, "mailbox", uint64(e.slots), uint64(e.slots)*(1+msize)); err != nil {
+		return err
+	}
+	mbuf := make([]byte, mc.Size())
+	for slot := 0; slot < e.slots; slot++ {
+		flag, err := sec.ReadByte()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint mailboxes: %w", err)
+		}
+		switch flag {
+		case 0:
+		case 1:
+			if err := sec.Read(mbuf); err != nil {
+				return fmt.Errorf("core: checkpoint mailboxes: %w", err)
+			}
+			e.mb.restoreCurrent(slot, mc.Decode(mbuf))
+		default:
+			return fmt.Errorf("core: checkpoint mailbox flag %d at slot %d (corrupt)", flag, slot)
+		}
+	}
+	return sec.close("mailbox")
+}
+
+// readShardTopology validates the sharded checkpoint's shard layout
+// against the engine's: same partition kind, same per-shard slot
+// counts. A mismatch means the checkpoint was taken under a different
+// Config.Shards/Partition and its local slot numbering is meaningless
+// to this engine.
+func readShardTopology[V, M any](e *Engine[V, M], br *bufio.Reader) error {
+	want := 1 + 8*uint64(e.nShards)
+	sec, err := openSection(br, "topology", want, want)
+	if err != nil {
+		return err
+	}
+	kind, err := sec.ReadByte()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint topology: %w", err)
+	}
+	if Partition(kind) != e.cfg.Partition {
+		return fmt.Errorf("core: checkpoint partitioned by %v, engine by %v (shard topology mismatch)", Partition(kind), e.cfg.Partition)
+	}
+	var b [8]byte
+	for s := 0; s < e.nShards; s++ {
+		if err := sec.Read(b[:]); err != nil {
+			return fmt.Errorf("core: checkpoint topology: %w", err)
+		}
+		if got := binary.LittleEndian.Uint64(b[:]); got != uint64(e.part.localSlots(s)) {
+			return fmt.Errorf("core: checkpoint shard %d has %d slots, engine expects %d (shard topology mismatch)", s, got, e.part.localSlots(s))
+		}
+	}
+	return sec.close("topology")
+}
+
+// readShardSections reads one values/activity/mailbox triplet per shard,
+// in local-slot order — the sharded counterpart of readFlatSections.
+func readShardSections[V, M any](e *Engine[V, M], br *bufio.Reader, vc Codec[V], mc Codec[M]) error {
+	vsize := uint64(vc.Size())
+	msize := uint64(mc.Size())
+	vbuf := make([]byte, vc.Size())
+	mbuf := make([]byte, mc.Size())
+	for s, sh := range e.shards {
+		localN := len(sh.values)
+
+		want := uint64(localN) * vsize
+		sec, err := openSection(br, fmt.Sprintf("shard %d values", s), want, want)
+		if err != nil {
+			return err
+		}
+		for local := 0; local < localN; local++ {
+			if err := sec.Read(vbuf); err != nil {
+				return fmt.Errorf("core: checkpoint shard %d values: %w", s, err)
+			}
+			sh.values[local] = vc.Decode(vbuf)
+		}
+		if err := sec.close("values"); err != nil {
+			return err
+		}
+
+		want = uint64(localN)
+		if sec, err = openSection(br, fmt.Sprintf("shard %d activity", s), want, want); err != nil {
+			return err
+		}
+		if err := sec.Read(sh.active); err != nil {
+			return fmt.Errorf("core: checkpoint shard %d activity: %w", s, err)
+		}
+		if err := sec.close("activity"); err != nil {
+			return err
+		}
+		for local, a := range sh.active {
+			if a > 1 {
+				return fmt.Errorf("core: checkpoint activity flag %d at shard %d slot %d (corrupt)", a, s, local)
+			}
+		}
+
+		if sec, err = openSection(br, fmt.Sprintf("shard %d mailbox", s), uint64(localN), uint64(localN)*(1+msize)); err != nil {
+			return err
+		}
+		for local := 0; local < localN; local++ {
+			flag, err := sec.ReadByte()
+			if err != nil {
+				return fmt.Errorf("core: checkpoint shard %d mailboxes: %w", s, err)
+			}
+			switch flag {
+			case 0:
+			case 1:
+				if err := sec.Read(mbuf); err != nil {
+					return fmt.Errorf("core: checkpoint shard %d mailboxes: %w", s, err)
+				}
+				sh.mb.restoreCurrent(local, mc.Decode(mbuf))
+			default:
+				return fmt.Errorf("core: checkpoint mailbox flag %d at shard %d slot %d (corrupt)", flag, s, local)
+			}
+		}
+		if err := sec.close("mailbox"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func restoreV2[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec[V], mc Codec[M]) (*Engine[V, M], error) {
 	var hdr [32]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -533,68 +823,31 @@ func restoreV2[V, M any](e *Engine[V, M], br *bufio.Reader, cfg Config, vc Codec
 	if naggs > maxCheckpointAggs {
 		return nil, fmt.Errorf("core: checkpoint declares %d aggregators (limit %d)", naggs, maxCheckpointAggs)
 	}
-
-	// Values: exact length.
-	want := uint64(e.slots) * vsize
-	sec, err := openSection(br, "values", want, want)
-	if err != nil {
-		return nil, err
+	shardField := binary.LittleEndian.Uint32(hdr[28:])
+	if shardField == 1 {
+		return nil, errors.New("core: checkpoint shard count 1 is invalid (single-shard checkpoints use 0); corrupt header")
 	}
-	vbuf := make([]byte, vc.Size())
-	for slot := 0; slot < e.slots; slot++ {
-		if err := sec.Read(vbuf); err != nil {
-			return nil, fmt.Errorf("core: checkpoint values: %w", err)
-		}
-		e.values[slot] = vc.Decode(vbuf)
+	if shardField == 0 && e.nShards != 1 {
+		return nil, fmt.Errorf("core: checkpoint is single-shard but the engine is configured with %d shards (shard topology mismatch)", e.nShards)
 	}
-	if err := sec.close("values"); err != nil {
-		return nil, err
+	if shardField != 0 && int64(shardField) != int64(e.nShards) {
+		return nil, fmt.Errorf("core: checkpoint has %d shards, engine has %d (shard topology mismatch)", shardField, e.nShards)
 	}
 
-	// Activity flags: exact length.
-	want = uint64(e.slots)
-	if sec, err = openSection(br, "activity", want, want); err != nil {
-		return nil, err
-	}
-	if err := sec.Read(e.active); err != nil {
-		return nil, fmt.Errorf("core: checkpoint activity: %w", err)
-	}
-	if err := sec.close("activity"); err != nil {
-		return nil, err
-	}
-	for slot, a := range e.active {
-		if a > 1 {
-			return nil, fmt.Errorf("core: checkpoint activity flag %d at slot %d (corrupt)", a, slot)
+	if shardField != 0 {
+		if err := readShardTopology(e, br); err != nil {
+			return nil, err
 		}
-	}
-
-	// Mailboxes: between "all empty" and "all occupied".
-	if sec, err = openSection(br, "mailbox", uint64(e.slots), uint64(e.slots)*(1+msize)); err != nil {
-		return nil, err
-	}
-	mbuf := make([]byte, mc.Size())
-	for slot := 0; slot < e.slots; slot++ {
-		flag, err := sec.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
+		if err := readShardSections(e, br, vc, mc); err != nil {
+			return nil, err
 		}
-		switch flag {
-		case 0:
-		case 1:
-			if err := sec.Read(mbuf); err != nil {
-				return nil, fmt.Errorf("core: checkpoint mailboxes: %w", err)
-			}
-			e.mb.restoreCurrent(slot, mc.Decode(mbuf))
-		default:
-			return nil, fmt.Errorf("core: checkpoint mailbox flag %d at slot %d (corrupt)", flag, slot)
-		}
-	}
-	if err := sec.close("mailbox"); err != nil {
+	} else if err := readFlatSections(e, br, vc, mc); err != nil {
 		return nil, err
 	}
 
 	// Frontier: at most one entry per slot.
-	if sec, err = openSection(br, "frontier", 0, uint64(e.slots)*4); err != nil {
+	sec, err := openSection(br, "frontier", 0, uint64(e.slots)*4)
+	if err != nil {
 		return nil, err
 	}
 	if sec.len%4 != 0 {

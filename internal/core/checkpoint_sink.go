@@ -219,8 +219,20 @@ func VerifyCheckpoint(r io.Reader) (int, error) {
 	if superstep > maxCheckpointSuperstep {
 		return 0, fmt.Errorf("core: checkpoint superstep %d is implausible (corrupt header)", superstep)
 	}
+	// The shard field selects the section layout: 0 is the flat
+	// single-shard stream (values/activity/mailbox/frontier/aggregators),
+	// n≥2 the partitioned one (topology, then one values/activity/mailbox
+	// triplet per shard, then frontier and aggregators).
+	shards := binary.LittleEndian.Uint32(hdr[28:])
+	if shards == 1 || uint64(shards) > binary.LittleEndian.Uint64(hdr[8:]) {
+		return 0, fmt.Errorf("core: checkpoint shard count %d is implausible (corrupt header)", shards)
+	}
+	nSections := sectionCount
+	if shards != 0 {
+		nSections = 3 + 3*int(shards)
+	}
 
-	for s := 0; s < sectionCount; s++ {
+	for s := 0; s < nSections; s++ {
 		var lbuf [8]byte
 		if _, err := io.ReadFull(br, lbuf[:]); err != nil {
 			return 0, fmt.Errorf("core: checkpoint section %d length: %w", s, err)

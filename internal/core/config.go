@@ -223,6 +223,19 @@ type Config struct {
 	// which mirrors the paper's OpenMP fork-join loops). Results are
 	// identical; see BenchmarkWorkerPool for the cost comparison.
 	PersistentWorkers bool
+	// Shards splits the slot space into independently-owned partitions:
+	// each shard has its own mailbox, values/active segments and frontier
+	// buffers, so intra-shard delivery never contends with other shards,
+	// and cross-shard sends are batched in per-(worker, destination)
+	// routing buffers flushed at the barrier. 0 or 1 selects the
+	// single-shard engine, which is behaviour-identical to the pre-shard
+	// core (same Reports, same checkpoint bytes). Negative values are
+	// rejected, as is combining shards with the pull combiner (its
+	// outboxes are already contention-free, like SenderCombining).
+	Shards int
+	// Partition selects how global slots map to shards when Shards > 1;
+	// the zero value is contiguous range partitioning.
+	Partition Partition
 	// Observers are lifecycle sinks registered at construction, ahead of
 	// any added later with Engine.AddObserver. Carrying them in Config
 	// lets callers that build engines indirectly (the algorithms helpers,
@@ -247,7 +260,21 @@ func (c Config) VersionName() string {
 	if c.Schedule == ScheduleEdgeBalanced {
 		name += "+edgebal"
 	}
+	if c.Shards > 1 {
+		name += fmt.Sprintf("+shards%d", c.Shards)
+		if c.Partition != PartitionRange {
+			name += ":" + c.Partition.String()
+		}
+	}
 	return name
+}
+
+// shardCount normalizes Config.Shards: 0 means 1.
+func (c Config) shardCount() int {
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
 }
 
 func (c Config) threads() int {

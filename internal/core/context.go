@@ -16,7 +16,10 @@ type ComputeFunc[V, M any] func(ctx *Context[V, M], v Vertex[V, M])
 // no hidden virtual-table pointer (§3.2).
 type Vertex[V, M any] struct {
 	e    *Engine[V, M]
-	slot int32
+	slot int32 // global slot
+	// shard/local locate the vertex's state inside the owning shard;
+	// {0, slot} on single-shard engines (global slot == local slot).
+	shard, local int32
 }
 
 // ID returns the vertex's external identifier.
@@ -24,7 +27,7 @@ func (v Vertex[V, M]) ID() graph.VertexID { return v.e.addr.idOf(int(v.slot)) }
 
 // Value returns a pointer to the vertex's user-defined value, the
 // equivalent of the user members of struct IP_vertex_t.
-func (v Vertex[V, M]) Value() *V { return &v.e.values[v.slot] }
+func (v Vertex[V, M]) Value() *V { return &v.e.shards[v.shard].values[v.local] }
 
 // OutDegree returns the number of out-neighbours.
 func (v Vertex[V, M]) OutDegree() int { return v.e.g.OutDegree(int(v.slot) - v.e.shift) }
@@ -75,8 +78,16 @@ type Context[V, M any] struct {
 	frontierBuf []int32
 
 	// cache is the worker-local combining cache (Config.SenderCombining);
-	// nil when the feature is off. Push deliveries route through it.
+	// nil when the feature is off or the engine is sharded. Push
+	// deliveries route through it.
 	cache *senderCache[M]
+
+	// route is the worker's per-destination-shard routing state; non-nil
+	// exactly when the engine is sharded (it subsumes cache). curShard is
+	// the shard of the vertex currently computing, maintained by
+	// runVertexAt for the cross-shard traffic counter.
+	route    *shardRouter[M]
+	curShard int32
 }
 
 // Superstep returns the current superstep number, starting at 0
@@ -96,7 +107,7 @@ func (c *Context[V, M]) VertexCount() int { return c.e.g.N() }
 // most one message (§6.3), so the usual `for ctx.NextMessage(v, &m)` drain
 // loop iterates at most once.
 func (c *Context[V, M]) NextMessage(v Vertex[V, M], m *M) bool {
-	return c.e.mb.take(int(v.slot), m)
+	return c.e.shards[v.shard].mb.take(int(v.local), m)
 }
 
 // Send delivers msg to the vertex with external identifier dst
@@ -115,15 +126,26 @@ func (c *Context[V, M]) Send(dst graph.VertexID, msg M) {
 	}
 }
 
-// push routes one delivery through the worker's combining cache when
+// push routes one delivery: through the per-destination-shard routing
+// caches on a sharded engine, through the worker's combining cache when
 // sender-side combining is on, and straight to the shared mailbox
 // otherwise.
 func (c *Context[V, M]) push(slot int, msg M) {
-	if c.cache != nil {
-		c.cache.add(slot, msg, c.e.mb)
+	e := c.e
+	if r := c.route; r != nil {
+		d, local := e.part.locate(slot)
+		r.sent[d]++
+		if int32(d) != c.curShard {
+			r.cross++
+		}
+		r.add(d, local, msg, e.shards[d].mb)
 		return
 	}
-	c.e.mb.deliver(slot, msg)
+	if c.cache != nil {
+		c.cache.add(slot, msg, e.mb)
+		return
+	}
+	e.mb.deliver(slot, msg)
 }
 
 // Broadcast sends msg to every out-neighbour of v (IP_broadcast). With
@@ -134,7 +156,7 @@ func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
 	e := c.e
 	slot := int(v.slot)
 	idx := slot - e.shift
-	if e.mb.usesPull() {
+	if e.usesPull() {
 		e.mb.setOutbox(slot, msg)
 		c.msgs++ // one buffered broadcast; fan-out happens at collect
 		if e.cfg.SelectionBypass {
@@ -164,15 +186,26 @@ func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
 // VoteToHalt marks v inactive for the next superstep (IP_vote_to_halt);
 // an incoming message will reactivate it.
 func (c *Context[V, M]) VoteToHalt(v Vertex[V, M]) {
-	if c.e.active[v.slot] != 0 {
-		c.e.active[v.slot] = 0
+	sh := c.e.shards[v.shard]
+	if sh.active[v.local] != 0 {
+		sh.active[v.local] = 0
 		c.votes++
 	}
 }
 
-// enroll adds slot to the next frontier exactly once (CAS dedup).
+// enroll adds slot to the next frontier exactly once (CAS dedup). On a
+// sharded engine the entry lands in the destination shard's enrol
+// buffer as a local slot; gatherFrontierSharded concatenates per shard.
 func (c *Context[V, M]) enroll(slot int) {
-	if c.e.tryMarkNext(slot) {
+	e := c.e
+	if r := c.route; r != nil {
+		d, local := e.part.locate(slot)
+		if e.shards[d].tryMarkNext(local) {
+			r.frontier[d] = append(r.frontier[d], int32(local))
+		}
+		return
+	}
+	if e.tryMarkNext(slot) {
 		c.frontierBuf = append(c.frontierBuf, int32(slot))
 	}
 }
@@ -182,5 +215,8 @@ func (c *Context[V, M]) resetSuperstep() {
 	c.frontierBuf = c.frontierBuf[:0]
 	if c.cache != nil {
 		c.cache.combined = 0
+	}
+	if c.route != nil {
+		c.route.resetSuperstep()
 	}
 }

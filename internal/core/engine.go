@@ -31,6 +31,12 @@ type Engine[V, M any] struct {
 	cfg     Config
 	prog    Program[V, M]
 	addr    addresser
+	part    partitioner
+	nShards int
+	// shards owns all per-vertex state (always len nShards ≥ 1); the
+	// flat fields below (mb, values, active, inNext) alias shards[0]'s
+	// arrays when nShards == 1, keeping the pre-shard code paths intact.
+	shards  []*engineShard[V, M]
 	mb      mailbox[M]
 	shift   int // slot = internal index + shift (non-zero only for desolate)
 	slots   int
@@ -54,6 +60,13 @@ type Engine[V, M any] struct {
 	// scans [edgeCuts[w], edgeCuts[w+1]), each range holding ~M/threads
 	// out-edges. Computed once from the CSR degree prefix sums.
 	edgeCuts []int32
+
+	// sharded-compute work lists (nShards > 1): scanSpans is the
+	// precomputed full-scan split (per-shard edge-balanced cuts when
+	// applicable), frontierSpanBuf the reusable buffer for the per-
+	// superstep frontier split.
+	scanSpans       []shardSpan
+	frontierSpanBuf []shardSpan
 
 	workers    []*Context[V, M]
 	agg        *aggregators
@@ -106,6 +119,12 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 	if cfg.SenderCombining && cfg.Combiner == CombinerPull {
 		return nil, fmt.Errorf("core: sender-side combining pre-combines push deliveries; the pull combiner's outboxes are already contention-free (§6.2)")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: Config.Shards must be non-negative (0 means 1), got %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.Combiner == CombinerPull {
+		return nil, fmt.Errorf("core: sharding batches push deliveries per destination shard; the pull combiner's outboxes are already contention-free (§6.2)")
+	}
 	addr, err := newAddresser(g, cfg.Addressing)
 	if err != nil {
 		return nil, err
@@ -119,22 +138,51 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 		slots:   addr.slots(),
 		threads: cfg.threads(),
 	}
-	e.mb, err = newMailbox[M](cfg, e.slots, prog.Combine, g, e.shift)
+	e.part, err = newPartitioner(cfg, e.slots)
 	if err != nil {
 		return nil, err
 	}
-	e.values = make([]V, e.slots)
-	e.active = make([]uint8, e.slots)
-	if cfg.SelectionBypass {
-		e.inNext = make([]uint32, e.slots)
+	e.nShards = e.part.shards()
+	e.shards = make([]*engineShard[V, M], e.nShards)
+	if e.nShards == 1 {
+		sh := &engineShard[V, M]{}
+		sh.mb, err = newMailbox[M](cfg, e.slots, prog.Combine, g, e.shift)
+		if err != nil {
+			return nil, err
+		}
+		sh.values = make([]V, e.slots)
+		sh.active = make([]uint8, e.slots)
+		if cfg.SelectionBypass {
+			sh.inNext = make([]uint32, e.slots)
+		}
+		e.shards[0] = sh
+		// The flat single-shard view: every pre-shard code path keeps
+		// operating on these aliases, global slot == local slot.
+		e.mb = sh.mb
+		e.values = sh.values
+		e.active = sh.active
+		e.inNext = sh.inNext
+	} else {
+		for s := range e.shards {
+			e.shards[s], err = newEngineShard[V, M](cfg, e.part.localSlots(s), prog.Combine)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.buildScanSpans()
 	}
-	if cfg.Schedule == ScheduleEdgeBalanced {
+	if cfg.Schedule == ScheduleEdgeBalanced && e.nShards == 1 {
 		e.edgeCuts = edgeBalancedCuts(g, e.threads)
 	}
 	e.workers = make([]*Context[V, M], e.threads)
 	for w := range e.workers {
 		e.workers[w] = &Context[V, M]{e: e, worker: w}
-		if cfg.SenderCombining {
+		if e.nShards > 1 {
+			// The routing layer subsumes the single sender-combining
+			// cache: per-destination-shard caches combine worker-locally
+			// whether or not SenderCombining is set.
+			e.workers[w].route = newShardRouter[M](prog.Combine, e.nShards, cfg.SelectionBypass)
+		} else if cfg.SenderCombining {
 			e.workers[w].cache = newSenderCache[M](prog.Combine)
 		}
 	}
@@ -200,14 +248,20 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 
 		var ranTotal int64
 		region(ctx, "ipregel.compute", func() { ranTotal = e.computePhase() })
-		if e.cfg.SenderCombining {
+		if e.nShards > 1 {
+			region(ctx, "ipregel.route", e.drainRouters)
+		} else if e.cfg.SenderCombining {
 			region(ctx, "ipregel.drain", e.drainSenderCaches)
 		}
 
 		if e.cfg.SelectionBypass {
-			region(ctx, "ipregel.gather", e.gatherFrontier)
+			if e.nShards > 1 {
+				region(ctx, "ipregel.gather", e.gatherFrontierSharded)
+			} else {
+				region(ctx, "ipregel.gather", e.gatherFrontier)
+			}
 		}
-		if e.mb.usesPull() {
+		if e.usesPull() {
 			region(ctx, "ipregel.collect", func() {
 				e.collectPhase()
 				e.mb.clearOutboxes()
@@ -223,7 +277,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			}
 		}
 		region(ctx, "ipregel.barrier", func() {
-			e.mb.swap()
+			for _, sh := range e.shards {
+				sh.mb.swap()
+			}
 			if !e.agg.empty() {
 				e.agg.barrier()
 			}
@@ -241,14 +297,22 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			if activeAfter > 0 {
 				return e.finishRun(start, ErrBypassViolation)
 			}
-			e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
-			// Reset the dedup flags of the (new) current frontier so the
-			// next superstep can enrol the same vertices again.
-			for _, slot := range e.frontier {
-				atomic.StoreUint32(&e.inNext[slot], 0)
+			if e.nShards > 1 {
+				e.swapFrontiersSharded()
+			} else {
+				e.frontier, e.frontierNext = e.frontierNext, e.frontier[:0]
+				// Reset the dedup flags of the (new) current frontier so the
+				// next superstep can enrol the same vertices again.
+				for _, slot := range e.frontier {
+					atomic.StoreUint32(&e.inNext[slot], 0)
+				}
 			}
 			if e.cfg.CheckBypass || e.cfg.CheckInvariants {
-				if err := e.auditBypass(); err != nil {
+				audit := e.auditBypass
+				if e.nShards > 1 {
+					audit = e.auditBypassSharded
+				}
+				if err := audit(); err != nil {
 					return e.finishRun(start, err)
 				}
 			}
@@ -282,6 +346,9 @@ func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial b
 		if w.cache != nil {
 			localCombines += w.cache.combined
 		}
+		if w.route != nil {
+			localCombines += w.route.combined
+		}
 	}
 	step := StepStats{
 		Ran:           ran,
@@ -291,15 +358,42 @@ func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial b
 		Duration:      time.Since(stepStart),
 		Partial:       partial,
 	}
-	if retries := e.mb.contentionRetries(); retries > e.casRetriesSeen {
+	var retries uint64
+	for _, sh := range e.shards {
+		retries += sh.mb.contentionRetries()
+	}
+	if retries > e.casRetriesSeen {
 		step.CASRetries = retries - e.casRetriesSeen
 		e.casRetriesSeen = retries
 	}
 	if e.cfg.SelectionBypass {
-		step.NextFrontier = int64(len(e.frontierNext))
+		if e.nShards > 1 {
+			var total int64
+			for _, sh := range e.shards {
+				total += int64(len(sh.frontierNext))
+			}
+			step.NextFrontier = total
+		} else {
+			step.NextFrontier = int64(len(e.frontierNext))
+		}
 	}
 	if e.busy != nil {
 		step.WorkerBusy = append([]time.Duration(nil), e.busy...)
+	}
+	if e.nShards > 1 {
+		step.ShardMessages = make([]uint64, e.nShards)
+		for _, w := range e.workers {
+			step.CrossShardMessages += w.route.cross
+			for d, n := range w.route.sent {
+				step.ShardMessages[d] += n
+			}
+		}
+		if e.cfg.SelectionBypass {
+			step.ShardNextFrontier = make([]int64, e.nShards)
+			for d, sh := range e.shards {
+				step.ShardNextFrontier[d] = int64(len(sh.frontierNext))
+			}
+		}
 	}
 	return step
 }
@@ -358,6 +452,9 @@ func region(ctx context.Context, name string, f func()) {
 // computePhase runs IP_compute over the selected vertices and returns how
 // many ran.
 func (e *Engine[V, M]) computePhase() int64 {
+	if e.nShards > 1 {
+		return e.computePhaseSharded()
+	}
 	if e.superstep == 0 || !e.cfg.SelectionBypass {
 		// Traditional selection: scan every vertex and run those that are
 		// active or have mail (§4's "unfruitful checks" when inactive).
@@ -390,8 +487,13 @@ func (e *Engine[V, M]) runVertex(w, slot int) {
 	ctx := e.workers[w]
 	e.active[slot] = 1
 	ctx.ran++
-	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: int32(slot)})
+	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: int32(slot), shard: 0, local: int32(slot)})
 }
+
+// usesPull reports whether the engine runs the pull combiner. e.mb is nil
+// on sharded engines (each shard owns its own mailbox), and sharding
+// rejects pull at construction, so nil means push.
+func (e *Engine[V, M]) usesPull() bool { return e.mb != nil && e.mb.usesPull() }
 
 // collectPhase is the pull combiner's end-of-superstep fetch (§6.2): each
 // candidate vertex reads its in-neighbours' outboxes and combines into its
@@ -638,18 +740,56 @@ func edgeBalancedCuts(g *graph.Graph, t int) []int32 {
 	return cuts
 }
 
+// edgeBalancedCutsRange is edgeBalancedCuts restricted to the internal-
+// index range [lo, hi) — used to split one shard's contiguous vertex
+// range into ~equal out-edge shares under the range partitioner.
+func edgeBalancedCutsRange(g *graph.Graph, t, lo, hi int) []int32 {
+	cuts := make([]int32, t+1)
+	cuts[0], cuts[t] = int32(lo), int32(hi)
+	if hi <= lo {
+		for w := 1; w < t; w++ {
+			cuts[w] = int32(lo)
+		}
+		return cuts
+	}
+	base := g.OutEdgeOffset(lo)
+	var top uint64
+	if hi == g.N() {
+		top = g.M()
+	} else {
+		top = g.OutEdgeOffset(hi)
+	}
+	m := top - base
+	for w := 1; w < t; w++ {
+		target := base + m*uint64(w)/uint64(t)
+		cuts[w] = int32(lo + sort.Search(hi-lo, func(i int) bool { return g.OutEdgeOffset(lo+i) >= target }))
+	}
+	for w := 1; w <= t; w++ {
+		if cuts[w] < cuts[w-1] {
+			cuts[w] = cuts[w-1]
+		}
+	}
+	return cuts
+}
+
 // Value returns the final user value of the vertex with external
 // identifier id. Valid after Run.
 func (e *Engine[V, M]) Value(id graph.VertexID) V {
-	return e.values[e.addr.locate(id)]
+	return e.valueAt(e.addr.locate(id))
 }
 
 // ValuesDense copies the vertex values out in internal-index order
 // (index i holds the value of external identifier Base()+i).
 func (e *Engine[V, M]) ValuesDense() []V {
 	out := make([]V, e.g.N())
+	if e.nShards == 1 {
+		for i := range out {
+			out[i] = e.values[i+e.shift]
+		}
+		return out
+	}
 	for i := range out {
-		out[i] = e.values[i+e.shift]
+		out[i] = e.valueAt(i + e.shift)
 	}
 	return out
 }
@@ -669,19 +809,33 @@ func (e *Engine[V, M]) Config() Config { return e.cfg }
 func (e *Engine[V, M]) FootprintBytes() uint64 {
 	var v V
 	b := uint64(e.slots) * uint64(unsafe.Sizeof(v)) // values
-	b += uint64(len(e.active))                      // activity flags
-	b += e.mb.footprintBytes()
-	b += e.addr.overheadBytes()
-	if e.cfg.SelectionBypass {
-		b += uint64(len(e.inNext)) * 4
-		b += uint64(cap(e.frontier)+cap(e.frontierNext)) * 4
+	for _, sh := range e.shards {
+		b += uint64(len(sh.active)) // activity flags
+		b += sh.mb.footprintBytes()
 	}
-	if e.cfg.SenderCombining {
-		for _, w := range e.workers {
+	b += e.addr.overheadBytes()
+	b += e.part.overheadBytes()
+	if e.cfg.SelectionBypass {
+		if e.nShards == 1 {
+			b += uint64(len(e.inNext)) * 4
+			b += uint64(cap(e.frontier)+cap(e.frontierNext)) * 4
+		} else {
+			for _, sh := range e.shards {
+				b += uint64(len(sh.inNext)) * 4
+				b += uint64(cap(sh.frontier)+cap(sh.frontierNext)) * 4
+			}
+		}
+	}
+	for _, w := range e.workers {
+		if w.cache != nil {
 			b += w.cache.footprintBytes()
+		}
+		if w.route != nil {
+			b += w.route.footprintBytes()
 		}
 	}
 	b += uint64(len(e.edgeCuts)) * 4
+	b += uint64(cap(e.scanSpans)+cap(e.frontierSpanBuf)) * 12
 	return b
 }
 

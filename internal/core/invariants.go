@@ -35,8 +35,10 @@ func (e *Engine[V, M]) auditInvariants() error {
 		// check below could fire spuriously. Run reports the panic.
 		return nil
 	}
-	if err := e.mb.auditBarrier(); err != nil {
-		return &InvariantError{Superstep: e.superstep, Invariant: "mailbox-state", Detail: err.Error()}
+	for _, sh := range e.shards {
+		if err := sh.mb.auditBarrier(); err != nil {
+			return &InvariantError{Superstep: e.superstep, Invariant: "mailbox-state", Detail: err.Error()}
+		}
 	}
 	if err := e.auditConservation(); err != nil {
 		return err
@@ -55,8 +57,12 @@ func (e *Engine[V, M]) auditInvariants() error {
 // exempt — its Messages count buffered broadcasts, whose fan-out happens
 // at collect time and is graph-dependent rather than send-conserving.
 func (e *Engine[V, M]) auditConservation() error {
-	defer e.mb.resetDeliveryCounts()
-	if e.mb.usesPull() {
+	defer func() {
+		for _, sh := range e.shards {
+			sh.mb.resetDeliveryCounts()
+		}
+	}()
+	if e.mb != nil && e.mb.usesPull() {
 		return nil
 	}
 	var sent, local uint64
@@ -65,8 +71,16 @@ func (e *Engine[V, M]) auditConservation() error {
 		if w.cache != nil {
 			local += w.cache.combined
 		}
+		if w.route != nil {
+			local += w.route.combined
+		}
 	}
-	combines, fills := e.mb.deliveryCounts()
+	var combines, fills uint64
+	for _, sh := range e.shards {
+		c, f := sh.mb.deliveryCounts()
+		combines += c
+		fills += f
+	}
 	if sent != local+combines+fills {
 		return &InvariantError{
 			Superstep: e.superstep,
@@ -85,6 +99,9 @@ func (e *Engine[V, M]) auditConservation() error {
 // suppress a future enrolment (§4's correctness hinges on exactly-once
 // membership).
 func (e *Engine[V, M]) auditFrontierDedup() error {
+	if e.nShards > 1 {
+		return e.auditFrontierDedupSharded()
+	}
 	if e.auditSeen == nil {
 		e.auditSeen = make([]uint8, e.slots)
 	} else {
@@ -118,6 +135,52 @@ func (e *Engine[V, M]) auditFrontierDedup() error {
 			Superstep: e.superstep,
 			Invariant: "frontier-dedup",
 			Detail:    fmt.Sprintf("%d dedup flags set but %d vertices enrolled; a flag leaked without an enrolment", flagged, len(e.frontierNext)),
+		}
+	}
+	return nil
+}
+
+// auditFrontierDedupSharded applies the same exactly-once check per
+// shard: enrolled local slots are deduplicated against a global scratch
+// array (translated through the partitioner) and each shard's flag
+// count must equal its enrolments.
+func (e *Engine[V, M]) auditFrontierDedupSharded() error {
+	if e.auditSeen == nil {
+		e.auditSeen = make([]uint8, e.slots)
+	} else {
+		clear(e.auditSeen)
+	}
+	for s, sh := range e.shards {
+		for _, local := range sh.frontierNext {
+			slot := e.part.globalOf(s, int(local))
+			if e.auditSeen[slot] != 0 {
+				return &InvariantError{
+					Superstep: e.superstep,
+					Invariant: "frontier-dedup",
+					Detail:    fmt.Sprintf("vertex %d enrolled twice in the next frontier", e.addr.idOf(slot)),
+				}
+			}
+			e.auditSeen[slot] = 1
+			if atomic.LoadUint32(&sh.inNext[local]) == 0 {
+				return &InvariantError{
+					Superstep: e.superstep,
+					Invariant: "frontier-dedup",
+					Detail:    fmt.Sprintf("vertex %d is in the next frontier but its dedup flag is clear", e.addr.idOf(slot)),
+				}
+			}
+		}
+		var flagged uint64
+		for i := range sh.inNext {
+			if atomic.LoadUint32(&sh.inNext[i]) != 0 {
+				flagged++
+			}
+		}
+		if flagged != uint64(len(sh.frontierNext)) {
+			return &InvariantError{
+				Superstep: e.superstep,
+				Invariant: "frontier-dedup",
+				Detail:    fmt.Sprintf("shard %d: %d dedup flags set but %d vertices enrolled; a flag leaked without an enrolment", s, flagged, len(sh.frontierNext)),
+			}
 		}
 	}
 	return nil

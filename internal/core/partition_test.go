@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPartitionerRoundTrip is the partition-layer property test: for every
+// (slot count, shard count, partition kind) combination, locate and
+// globalOf must be mutual inverses, every shard's local slots must be
+// dense [0, localSlots), and the localSlots must sum to the global slot
+// count.
+func TestPartitionerRoundTrip(t *testing.T) {
+	for _, slots := range []int{1, 2, 3, 7, 8, 63, 64, 65, 1000} {
+		for _, shards := range []int{1, 2, 3, 4, 7, 8} {
+			if shards > slots {
+				continue
+			}
+			for _, kind := range []Partition{PartitionRange, PartitionHash} {
+				cfg := Config{Shards: shards, Partition: kind}
+				p, err := newPartitioner(cfg, slots)
+				if err != nil {
+					t.Fatalf("slots=%d shards=%d %v: %v", slots, shards, kind, err)
+				}
+				if p.shards() != shards {
+					t.Fatalf("slots=%d shards=%d %v: shards() = %d", slots, shards, kind, p.shards())
+				}
+				sum := 0
+				for s := 0; s < shards; s++ {
+					sum += p.localSlots(s)
+				}
+				if sum != slots {
+					t.Fatalf("slots=%d shards=%d %v: localSlots sum to %d", slots, shards, kind, sum)
+				}
+				// locate → globalOf round trip, plus density: each local
+				// index must be hit exactly once per shard.
+				seen := make([]int, shards)
+				for slot := 0; slot < slots; slot++ {
+					s, local := p.locate(slot)
+					if s < 0 || s >= shards {
+						t.Fatalf("slots=%d shards=%d %v: locate(%d) shard %d out of range", slots, shards, kind, slot, s)
+					}
+					if local < 0 || local >= p.localSlots(s) {
+						t.Fatalf("slots=%d shards=%d %v: locate(%d) local %d out of [0,%d)", slots, shards, kind, slot, local, p.localSlots(s))
+					}
+					if back := p.globalOf(s, local); back != slot {
+						t.Fatalf("slots=%d shards=%d %v: globalOf(locate(%d)) = %d", slots, shards, kind, slot, back)
+					}
+					seen[s]++
+				}
+				for s := 0; s < shards; s++ {
+					if seen[s] != p.localSlots(s) {
+						t.Fatalf("slots=%d shards=%d %v: shard %d saw %d slots, localSlots says %d", slots, shards, kind, s, seen[s], p.localSlots(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRangePartitionerContiguity pins the range partitioner's defining
+// property: each shard owns a contiguous slot interval and locate is
+// monotone, so the O(1) slot*t/n shard arithmetic agrees with the cuts.
+func TestRangePartitionerContiguity(t *testing.T) {
+	for _, slots := range []int{8, 65, 1000} {
+		for _, shards := range []int{2, 3, 8} {
+			p, err := newPartitioner(Config{Shards: shards}, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevShard, prevLocal := 0, -1
+			for slot := 0; slot < slots; slot++ {
+				s, local := p.locate(slot)
+				switch {
+				case s == prevShard:
+					if local != prevLocal+1 {
+						t.Fatalf("slots=%d shards=%d: slot %d local %d after %d (not contiguous)", slots, shards, slot, local, prevLocal)
+					}
+				case s == prevShard+1:
+					if local != 0 {
+						t.Fatalf("slots=%d shards=%d: shard %d starts at local %d", slots, shards, s, local)
+					}
+				default:
+					t.Fatalf("slots=%d shards=%d: shard jumped %d -> %d", slots, shards, prevShard, s)
+				}
+				prevShard, prevLocal = s, local
+			}
+		}
+	}
+}
+
+// TestSinglePartitionerIsIdentity pins the nShards==1 fast path: the
+// partition layer must add zero overhead and zero translation, because
+// the whole single-shard equivalence guarantee rests on it.
+func TestSinglePartitionerIsIdentity(t *testing.T) {
+	p, err := newPartitioner(Config{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(singlePartitioner); !ok {
+		t.Fatalf("Shards unset built %T, want singlePartitioner", p)
+	}
+	if p.overheadBytes() != 0 {
+		t.Fatalf("single partitioner overhead = %d, want 0", p.overheadBytes())
+	}
+	for _, slot := range []int{0, 1, 57, 99} {
+		if s, local := p.locate(slot); s != 0 || local != slot {
+			t.Fatalf("locate(%d) = (%d, %d), want (0, %d)", slot, s, local, slot)
+		}
+	}
+	// Shards: 1 is the same as unset.
+	p1, err := newPartitioner(Config{Shards: 1, Partition: PartitionHash}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p1.(singlePartitioner); !ok {
+		t.Fatalf("Shards=1 built %T, want singlePartitioner", p1)
+	}
+}
+
+// TestDesolateShardedRoundTrip covers the desolate-addressing shift ×
+// selection-bypass × multi-shard interaction: with base-1 identifiers the
+// desolate addresser wastes slot 0 (shift=1), so the partition layer
+// carves up a slot space that includes a dead slot. Every live vertex's
+// slot must still round-trip through locate/globalOf back to its external
+// identifier, and a sharded bypass run over such a graph must match the
+// single-shard run.
+func TestDesolateShardedRoundTrip(t *testing.T) {
+	g := ringGraph(16, 1) // base-1: desolate shift = 1, slots = 17
+	for _, shards := range []int{2, 3, 4} {
+		for _, kind := range []Partition{PartitionRange, PartitionHash} {
+			cfg := Config{
+				Combiner:        CombinerSpin,
+				Addressing:      AddressDesolate,
+				Shards:          shards,
+				Partition:       kind,
+				SelectionBypass: true,
+				CheckInvariants: true,
+				Threads:         4,
+			}
+			e, _, err := Run(g, cfg, haltingFlood(6))
+			if err != nil {
+				t.Fatalf("shards=%d %v: %v", shards, kind, err)
+			}
+			if e.shift != 1 {
+				t.Fatalf("shards=%d %v: shift = %d, want 1", shards, kind, e.shift)
+			}
+			// slot ↔ id round trip through the partition layer.
+			for i := 0; i < g.N(); i++ {
+				id := g.ExternalID(i)
+				slot := e.addr.locate(id)
+				s, local := e.part.locate(slot)
+				if back := e.part.globalOf(s, local); back != slot {
+					t.Fatalf("shards=%d %v: globalOf(locate(%d)) = %d, want %d", shards, kind, id, back, slot)
+				}
+				if got := e.addr.idOf(e.part.globalOf(s, local)); got != id {
+					t.Fatalf("shards=%d %v: id round trip %d -> %d", shards, kind, id, got)
+				}
+			}
+			// The dead slot (global 0) must never have been activated.
+			s0, l0 := e.part.locate(0)
+			if e.shards[s0].active[l0] != 0 {
+				t.Fatalf("shards=%d %v: desolate dead slot ran", shards, kind)
+			}
+			// Values must match the single-shard reference run.
+			ref, _, err := Run(g, Config{Combiner: CombinerSpin, Addressing: AddressDesolate, SelectionBypass: true, CheckInvariants: true, Threads: 4}, haltingFlood(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := ref.ValuesDense(), e.ValuesDense()
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("shards=%d %v: value mismatch at %d: %d vs %d", shards, kind, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,19 @@ type StepStats struct {
 	// selection bypass (0 when bypass is off): how many vertices received
 	// a message and will run next.
 	NextFrontier int64
+	// ShardMessages counts the deliveries routed to each shard this
+	// superstep, indexed by shard (len = Config.Shards; nil on
+	// single-shard runs). The sum over shards equals Messages for the
+	// push combiners.
+	ShardMessages []uint64
+	// ShardNextFrontier is the per-shard next-frontier size under
+	// selection bypass on a sharded engine (nil otherwise); the sum over
+	// shards equals NextFrontier.
+	ShardNextFrontier []int64
+	// CrossShardMessages counts the sends whose destination shard
+	// differed from the sending vertex's shard — the traffic the routing
+	// layer batches at the barrier. Always 0 on single-shard runs.
+	CrossShardMessages uint64
 	// Duration is the wall-clock time of the superstep.
 	Duration time.Duration
 	// WorkerBusy holds each worker's busy time this superstep when
@@ -60,6 +73,27 @@ func (s StepStats) Imbalance() float64 {
 		return 0
 	}
 	mean := float64(sum) / float64(len(s.WorkerBusy))
+	return float64(max) / mean
+}
+
+// ShardImbalance returns max/mean of the per-shard delivery counts
+// (1 = perfectly balanced; 0 on single-shard runs or message-free
+// supersteps) — the partition-quality analogue of Imbalance.
+func (s StepStats) ShardImbalance() float64 {
+	if len(s.ShardMessages) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, n := range s.ShardMessages {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.ShardMessages))
 	return float64(max) / mean
 }
 

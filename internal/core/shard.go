@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// engineShard is one shard's slice of the engine state: its own mailbox
+// instance, values/active segments and frontier buffers, all indexed by
+// LOCAL slot (0..localSlots-1). Because every array is owned by exactly
+// one shard, intra-shard delivery contends only with deliveries to the
+// same shard; other shards' mailboxes live on different cache lines
+// entirely. The single-shard engine builds exactly one of these and
+// aliases its legacy flat arrays (Engine.values, Engine.active, ...) to
+// it, so Config.Shards <= 1 runs the pre-shard code paths unchanged.
+type engineShard[V, M any] struct {
+	mb mailbox[M]
+
+	// values and active are local-slot indexed; indexing them with a
+	// global slot is the bug class the shardlocal analyzer flags.
+	//
+	//ipregel:shardlocal
+	values []V
+	//ipregel:shardlocal
+	active []uint8
+
+	// inNext holds the CAS flags deduplicating this shard's next-frontier
+	// entries (selection bypass, §4); local-slot indexed, element access
+	// through sync/atomic.
+	//
+	//ipregel:atomic
+	//ipregel:shardlocal
+	inNext []uint32
+
+	// frontier and frontierNext hold LOCAL slots (the shard is implied);
+	// checkpointing and audits translate through partitioner.globalOf.
+	frontier     []int32
+	frontierNext []int32
+}
+
+func newEngineShard[V, M any](cfg Config, localN int, combine CombineFunc[M]) (*engineShard[V, M], error) {
+	sh := &engineShard[V, M]{
+		values: make([]V, localN),
+		active: make([]uint8, localN),
+	}
+	var err error
+	// Shards are push-only (New rejects pull × shards), so the graph and
+	// shift arguments of the mailbox factory are never consulted.
+	sh.mb, err = newMailbox[M](cfg, localN, combine, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SelectionBypass {
+		sh.inNext = make([]uint32, localN)
+	}
+	return sh, nil
+}
+
+// tryMarkNext claims local's membership of this shard's next frontier
+// (test-and-test-and-set, like Engine.tryMarkNext).
+func (sh *engineShard[V, M]) tryMarkNext(local int) bool {
+	p := &sh.inNext[local]
+	if atomic.LoadUint32(p) != 0 {
+		return false
+	}
+	return atomic.CompareAndSwapUint32(p, 0, 1)
+}
+
+// slotShard resolves a global slot to its owning shard and local slot.
+// The single-shard fast path keeps the pre-shard identity (shards[0],
+// local == global) without consulting the partitioner.
+func (e *Engine[V, M]) slotShard(slot int) (*engineShard[V, M], int) {
+	if e.nShards == 1 {
+		return e.shards[0], slot
+	}
+	s, local := e.part.locate(slot)
+	return e.shards[s], local
+}
+
+// The *At accessors are the global-slot view over the sharded arrays,
+// used by the cold paths that still think in global slots: checkpoint
+// write/restore, audits, Value/ValuesDense.
+
+func (e *Engine[V, M]) valueAt(slot int) V {
+	sh, local := e.slotShard(slot)
+	return sh.values[local]
+}
+
+func (e *Engine[V, M]) setValueAt(slot int, v V) {
+	sh, local := e.slotShard(slot)
+	sh.values[local] = v
+}
+
+func (e *Engine[V, M]) activeAt(slot int) uint8 {
+	sh, local := e.slotShard(slot)
+	return sh.active[local]
+}
+
+func (e *Engine[V, M]) setActiveAt(slot int, a uint8) {
+	sh, local := e.slotShard(slot)
+	sh.active[local] = a
+}
+
+func (e *Engine[V, M]) peekAt(slot int) (M, bool) {
+	sh, local := e.slotShard(slot)
+	return sh.mb.peek(local)
+}
+
+func (e *Engine[V, M]) hasCurrentAt(slot int) bool {
+	sh, local := e.slotShard(slot)
+	return sh.mb.hasCurrent(local)
+}
+
+func (e *Engine[V, M]) restoreCurrentAt(slot int, m M) {
+	sh, local := e.slotShard(slot)
+	sh.mb.restoreCurrent(local, m)
+}
+
+// shardSpan is one unit of sharded compute work: the LOCAL slot range
+// [lo, hi) of one shard. The scan spans are precomputed at construction
+// (per-shard edge-balanced cuts under ScheduleEdgeBalanced on the range
+// partitioner, equal local-slot shares otherwise); frontier spans are
+// rebuilt each superstep from the shards' frontier lengths.
+type shardSpan struct {
+	shard  int32
+	lo, hi int32
+}
+
+// buildScanSpans precomputes the sharded full-scan work list: for each
+// shard, up to `threads` local-slot ranges, so every worker can claim
+// work from any shard (no worker is idled by an empty shard).
+func (e *Engine[V, M]) buildScanSpans() {
+	t := e.threads
+	for s := 0; s < e.nShards; s++ {
+		localN := e.part.localSlots(s)
+		if localN == 0 {
+			continue
+		}
+		if rp, ok := e.part.(*rangePartitioner); ok && e.cfg.Schedule == ScheduleEdgeBalanced && t > 1 {
+			// The shard's global range is contiguous, so its CSR degree
+			// prefix sums are usable: cut it into t ranges of ~equal
+			// out-edge counts, in internal-index space, then translate
+			// back to local slots. The desolate dead zone (global <
+			// shift) has no internal index; clamp it out — the scan loop
+			// skips those locals anyway.
+			shardBase := int(rp.cuts[s])
+			loIdx := shardBase - e.shift
+			if loIdx < 0 {
+				loIdx = 0
+			}
+			hiIdx := int(rp.cuts[s+1]) - e.shift
+			if hiIdx < loIdx {
+				hiIdx = loIdx
+			}
+			cuts := edgeBalancedCutsRange(e.g, t, loIdx, hiIdx)
+			for w := 0; w < t; w++ {
+				lo := int(cuts[w]) + e.shift - shardBase
+				hi := int(cuts[w+1]) + e.shift - shardBase
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > lo {
+					e.scanSpans = append(e.scanSpans, shardSpan{int32(s), int32(lo), int32(hi)})
+				}
+			}
+			continue
+		}
+		chunks := t
+		if chunks > localN {
+			chunks = localN
+		}
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*localN/chunks, (c+1)*localN/chunks
+			if lo < hi {
+				e.scanSpans = append(e.scanSpans, shardSpan{int32(s), int32(lo), int32(hi)})
+			}
+		}
+	}
+}
+
+// forSpans runs body over span indices 0..n-1, claimed dynamically from
+// a shared cursor: sharded phases always have more spans than workers
+// (up to threads per shard), so claiming replaces the per-schedule
+// splitting of parallelFor — the schedule's balance decision is already
+// baked into the span boundaries.
+func (e *Engine[V, M]) forSpans(n int, body func(w, k int)) {
+	if n == 0 {
+		return
+	}
+	t := e.threads
+	if t > n {
+		t = n
+	}
+	if t == 1 {
+		e.guard(0, func() {
+			for k := 0; k < n; k++ {
+				body(0, k)
+			}
+		})
+		return
+	}
+	cursor := new(paddedCursor)
+	e.dispatch(t, func(w int) {
+		e.guard(w, func() {
+			for {
+				k := int(atomic.AddInt64(&cursor.n, 1)) - 1
+				if k >= n {
+					return
+				}
+				body(w, k)
+			}
+		})
+	})
+}
+
+// computePhaseSharded is computePhase over shard-local spans.
+func (e *Engine[V, M]) computePhaseSharded() int64 {
+	first := e.superstep == 0
+	if first || !e.cfg.SelectionBypass {
+		spans := e.scanSpans
+		e.forSpans(len(spans), func(w, k int) {
+			sp := spans[k]
+			sh := e.shards[sp.shard]
+			for local := sp.lo; local < sp.hi; local++ {
+				global := e.part.globalOf(int(sp.shard), int(local))
+				if global < e.shift {
+					continue // desolate dead zone (§5): no vertex lives here
+				}
+				if first || sh.active[local] != 0 || sh.mb.hasCurrent(int(local)) {
+					e.runVertexAt(w, sp.shard, local, int32(global))
+				}
+			}
+		})
+	} else {
+		spans := e.frontierSpans()
+		e.forSpans(len(spans), func(w, k int) {
+			sp := spans[k]
+			sh := e.shards[sp.shard]
+			for i := sp.lo; i < sp.hi; i++ {
+				local := sh.frontier[i]
+				e.runVertexAt(w, sp.shard, local, int32(e.part.globalOf(int(sp.shard), int(local))))
+			}
+		})
+	}
+	var ran int64
+	for _, w := range e.workers {
+		ran += w.ran
+	}
+	return ran
+}
+
+func (e *Engine[V, M]) runVertexAt(w int, shard, local int32, global int32) {
+	ctx := e.workers[w]
+	ctx.curShard = shard
+	e.shards[shard].active[local] = 1
+	ctx.ran++
+	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: global, shard: shard, local: local})
+}
+
+// frontierSpans chunks each shard's current frontier into up to
+// `threads` ranges, reusing the span buffer across supersteps.
+func (e *Engine[V, M]) frontierSpans() []shardSpan {
+	spans := e.frontierSpanBuf[:0]
+	t := e.threads
+	for s, sh := range e.shards {
+		n := len(sh.frontier)
+		if n == 0 {
+			continue
+		}
+		chunks := t
+		if chunks > n {
+			chunks = n
+		}
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*n/chunks, (c+1)*n/chunks
+			if lo < hi {
+				spans = append(spans, shardSpan{int32(s), int32(lo), int32(hi)})
+			}
+		}
+	}
+	e.frontierSpanBuf = spans
+	return spans
+}
+
+// drainRouters flushes every worker's per-shard routing buffers at the
+// compute barrier. Parallelism is over DESTINATION shards: one worker
+// drains all routers' entries for shard d, so each shard mailbox sees a
+// single drainer and the flush itself is contention-free — the bulk-
+// combine counterpart of drainSenderCaches.
+func (e *Engine[V, M]) drainRouters() {
+	e.parallelFor(e.nShards, func(_, d int) {
+		mb := e.shards[d].mb
+		for _, w := range e.workers {
+			w.route.drainShard(d, mb)
+		}
+	})
+}
+
+// gatherFrontierSharded concatenates the workers' per-shard enrol
+// buffers into each shard's next frontier, one destination shard per
+// work item.
+func (e *Engine[V, M]) gatherFrontierSharded() {
+	e.parallelFor(e.nShards, func(_, d int) {
+		sh := e.shards[d]
+		buf := sh.frontierNext[:0]
+		for _, w := range e.workers {
+			buf = append(buf, w.route.frontier[d]...)
+		}
+		sh.frontierNext = buf
+	})
+}
+
+// swapFrontiersSharded is the bypass barrier work: promote each shard's
+// next frontier and clear its dedup flags, mirroring the single-shard
+// swap in RunContext.
+func (e *Engine[V, M]) swapFrontiersSharded() {
+	for _, sh := range e.shards {
+		sh.frontier, sh.frontierNext = sh.frontierNext, sh.frontier[:0]
+		for _, local := range sh.frontier {
+			atomic.StoreUint32(&sh.inNext[local], 0)
+		}
+	}
+}
+
+// auditBypassSharded is auditBypass over per-shard frontiers: after the
+// swap, every vertex holding a message must be enrolled in its shard's
+// frontier.
+func (e *Engine[V, M]) auditBypassSharded() error {
+	if e.auditSeen == nil {
+		e.auditSeen = make([]uint8, e.slots)
+	} else {
+		clear(e.auditSeen)
+	}
+	for s, sh := range e.shards {
+		for _, local := range sh.frontier {
+			e.auditSeen[e.part.globalOf(s, int(local))] = 1
+		}
+	}
+	for i := 0; i < e.g.N(); i++ {
+		slot := i + e.shift
+		if e.hasCurrentAt(slot) && e.auditSeen[slot] == 0 {
+			return fmt.Errorf("core: bypass audit: vertex %d has mail but is not in the frontier", e.addr.idOf(slot))
+		}
+	}
+	return nil
+}

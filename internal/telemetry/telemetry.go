@@ -52,6 +52,7 @@ type Collector struct {
 	messages                         atomic.Uint64
 	localCombines                    atomic.Uint64
 	casRetries                       atomic.Uint64
+	crossShardMessages               atomic.Uint64
 	verticesRan                      atomic.Int64
 	recoveries                       atomic.Int64
 
@@ -62,6 +63,7 @@ type Collector struct {
 	lastFrontier     atomic.Int64
 	lastStepNanos    atomic.Int64
 	lastImbalanceMil atomic.Int64 // StepStats.Imbalance ×1000
+	lastShardImbMil  atomic.Int64 // StepStats.ShardImbalance ×1000 (0 on single-shard runs)
 	heapBytes        atomic.Uint64
 	gcCycles         atomic.Uint64
 	// running is a best-effort in-a-run flag (1 between the first
@@ -102,6 +104,8 @@ func (c *Collector) OnSuperstepEnd(superstep int, s core.StepStats) {
 	c.lastFrontier.Store(s.NextFrontier)
 	c.lastStepNanos.Store(int64(s.Duration))
 	c.lastImbalanceMil.Store(int64(s.Imbalance() * 1000))
+	c.crossShardMessages.Add(s.CrossShardMessages)
+	c.lastShardImbMil.Store(int64(s.ShardImbalance() * 1000))
 	c.sampleHeap()
 }
 
@@ -157,25 +161,27 @@ func (c *Collector) sampleHeap() {
 // Names follow the Prometheus convention (counters suffixed _total).
 func (c *Collector) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"ipregel_runs_total":            c.runs.Load(),
-		"ipregel_runs_converged_total":  c.runsConverged.Load(),
-		"ipregel_runs_aborted_total":    c.runsAborted.Load(),
-		"ipregel_recoveries_total":      c.recoveries.Load(),
-		"ipregel_runs_active":           c.running.Load(),
-		"ipregel_supersteps_total":      c.supersteps.Load(),
-		"ipregel_messages_total":        int64(c.messages.Load()),
-		"ipregel_local_combines_total":  int64(c.localCombines.Load()),
-		"ipregel_cas_retries_total":     int64(c.casRetries.Load()),
-		"ipregel_vertices_ran_total":    c.verticesRan.Load(),
-		"ipregel_current_superstep":     c.currentSuperstep.Load(),
-		"ipregel_last_active_vertices":  c.lastActive.Load(),
-		"ipregel_last_ran_vertices":     c.lastRan.Load(),
-		"ipregel_last_frontier_size":    c.lastFrontier.Load(),
-		"ipregel_last_superstep_nanos":  c.lastStepNanos.Load(),
-		"ipregel_last_imbalance_millis": c.lastImbalanceMil.Load(),
-		"ipregel_heap_objects_bytes":    int64(c.heapBytes.Load()),
-		"ipregel_gc_cycles_total":       int64(c.gcCycles.Load()),
-		"ipregel_snapshot_unix_nanos":   time.Now().UnixNano(),
+		"ipregel_runs_total":                  c.runs.Load(),
+		"ipregel_runs_converged_total":        c.runsConverged.Load(),
+		"ipregel_runs_aborted_total":          c.runsAborted.Load(),
+		"ipregel_recoveries_total":            c.recoveries.Load(),
+		"ipregel_runs_active":                 c.running.Load(),
+		"ipregel_supersteps_total":            c.supersteps.Load(),
+		"ipregel_messages_total":              int64(c.messages.Load()),
+		"ipregel_local_combines_total":        int64(c.localCombines.Load()),
+		"ipregel_cas_retries_total":           int64(c.casRetries.Load()),
+		"ipregel_cross_shard_messages_total":  int64(c.crossShardMessages.Load()),
+		"ipregel_last_shard_imbalance_millis": c.lastShardImbMil.Load(),
+		"ipregel_vertices_ran_total":          c.verticesRan.Load(),
+		"ipregel_current_superstep":           c.currentSuperstep.Load(),
+		"ipregel_last_active_vertices":        c.lastActive.Load(),
+		"ipregel_last_ran_vertices":           c.lastRan.Load(),
+		"ipregel_last_frontier_size":          c.lastFrontier.Load(),
+		"ipregel_last_superstep_nanos":        c.lastStepNanos.Load(),
+		"ipregel_last_imbalance_millis":       c.lastImbalanceMil.Load(),
+		"ipregel_heap_objects_bytes":          int64(c.heapBytes.Load()),
+		"ipregel_gc_cycles_total":             int64(c.gcCycles.Load()),
+		"ipregel_snapshot_unix_nanos":         time.Now().UnixNano(),
 	}
 }
 

@@ -48,6 +48,10 @@ type Event struct {
 	DurationNS    int64   `json:"duration_ns,omitempty"`
 	Partial       bool    `json:"partial,omitempty"`
 	WorkerBusyNS  []int64 `json:"worker_busy_ns,omitempty"`
+	// shard breakdown (partitioned engines only; absent on single-shard)
+	ShardMessages      []uint64 `json:"shard_messages,omitempty"`
+	ShardNextFrontier  []int64  `json:"shard_next_frontier,omitempty"`
+	CrossShardMessages uint64   `json:"cross_shard_messages,omitempty"`
 
 	// abort
 	Reason string `json:"reason,omitempty"`
@@ -125,6 +129,13 @@ func (t *TraceWriter) OnSuperstepEnd(superstep int, s core.StepStats) {
 		for i, b := range s.WorkerBusy {
 			ev.WorkerBusyNS[i] = int64(b)
 		}
+	}
+	if len(s.ShardMessages) > 0 {
+		ev.ShardMessages = append([]uint64(nil), s.ShardMessages...)
+		ev.CrossShardMessages = s.CrossShardMessages
+	}
+	if len(s.ShardNextFrontier) > 0 {
+		ev.ShardNextFrontier = append([]int64(nil), s.ShardNextFrontier...)
 	}
 	t.emit(ev)
 }
@@ -235,6 +246,13 @@ func ReplayReport(events []Event) (core.Report, error) {
 				NextFrontier:  ev.NextFrontier,
 				Duration:      time.Duration(ev.DurationNS),
 				Partial:       ev.Partial,
+			}
+			if len(ev.ShardMessages) > 0 {
+				step.ShardMessages = append([]uint64(nil), ev.ShardMessages...)
+				step.CrossShardMessages = ev.CrossShardMessages
+			}
+			if len(ev.ShardNextFrontier) > 0 {
+				step.ShardNextFrontier = append([]int64(nil), ev.ShardNextFrontier...)
 			}
 			for _, b := range ev.WorkerBusyNS {
 				step.WorkerBusy = append(step.WorkerBusy, time.Duration(b))

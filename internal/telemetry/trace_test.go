@@ -59,6 +59,53 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceShardFields checks that a partitioned run's per-shard
+// breakdown survives the write → read → replay cycle.
+func TestTraceShardFields(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	cfg := core.Config{Threads: 2, Shards: 2, Observers: []core.Observer{tw}}
+	_, rep, err := core.Run(ring(16), cfg, flood(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Steps) != len(rep.Steps) {
+		t.Fatalf("replayed %d steps, want %d", len(replay.Steps), len(rep.Steps))
+	}
+	sawShards := false
+	for i, s := range replay.Steps {
+		want := rep.Steps[i]
+		if len(s.ShardMessages) != len(want.ShardMessages) {
+			t.Fatalf("step %d: replayed %d shard entries, want %d", i, len(s.ShardMessages), len(want.ShardMessages))
+		}
+		for j := range want.ShardMessages {
+			if s.ShardMessages[j] != want.ShardMessages[j] {
+				t.Fatalf("step %d shard %d: %d messages, want %d", i, j, s.ShardMessages[j], want.ShardMessages[j])
+			}
+		}
+		if s.CrossShardMessages != want.CrossShardMessages {
+			t.Fatalf("step %d: cross-shard %d, want %d", i, s.CrossShardMessages, want.CrossShardMessages)
+		}
+		if len(want.ShardMessages) > 0 {
+			sawShards = true
+		}
+	}
+	if !sawShards {
+		t.Fatal("no superstep carried a shard breakdown")
+	}
+}
+
 func TestTraceAbortedRun(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewTraceWriter(&buf)

@@ -38,6 +38,22 @@ grep -q "recoveries=2" "$TMP/cli.log" || {
     exit 1
 }
 
+echo "== ipregel-run: sharded engine (-shards 4) killed mid-run, resumes =="
+# Sharded checkpoints carry per-shard sections plus a topology header;
+# LatestGood must verify them and the supervisor must resume the 4-shard
+# run exactly as it does the flat one.
+go run ./cmd/ipregel-run -app sssp -graph road:60:60 -combiner atomic -source 1 \
+    -shards 4 -checkpoint-dir "$TMP/ckpt-sharded" -checkpoint-every 4 \
+    -chaos 'seed=7,panic@9' -recover-attempts 4 | tee "$TMP/sharded.log"
+grep -q "recovery: attempt 1 failed" "$TMP/sharded.log" || {
+    echo "FAIL: sharded CLI run did not report a recovery" >&2
+    exit 1
+}
+grep -q "reached: 3600 of 3600" "$TMP/sharded.log" || {
+    echo "FAIL: sharded CLI run did not reach every vertex after recovery" >&2
+    exit 1
+}
+
 echo "== ipregel-run: checkpoints survive across invocations =="
 # One attempt only: the injected panic exhausts the supervisor, leaving
 # checkpoints behind; the second invocation resumes from them.
