@@ -40,6 +40,8 @@ func run(args []string, out io.Writer) error {
 		divisor = fs.Int("divisor", 0, "graph scale divisor (default 64 = 1/64 of the paper's graphs)")
 		threads = fs.Int("threads", 0, "iPregel worker threads (default GOMAXPROCS)")
 		shards  = fs.Int("shards", 1, "iPregel execution shards (1 = classic single-shard engine; pull-combiner cells stay single-shard)")
+		overlap = fs.Bool("overlap", false, "overlap cross-shard delivery with compute (with -shards > 1)")
+		steal   = fs.Bool("steal", false, "work-stealing shard scheduler (with -shards > 1)")
 		quick   = fs.Bool("quick", false, "fewer repetitions and smaller sweeps")
 		rounds  = fs.Int("pagerank-rounds", 0, "PageRank iterations (default 30, as in the paper)")
 		csvDir  = fs.String("csv", "", "also write figure data series as CSV files into this directory")
@@ -71,7 +73,13 @@ func run(args []string, out io.Writer) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
 	}
-	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
+	if *overlap && *shards <= 1 {
+		return fmt.Errorf("-overlap overlaps cross-shard delivery with compute; it needs -shards > 1")
+	}
+	if *steal && *shards <= 1 {
+		return fmt.Errorf("-steal schedules (shard, slot-range) tasks; it needs -shards > 1")
+	}
+	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Overlap: *overlap, Steal: *steal, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
 	switch {
 	case *all:
 		return bench.RunAll(o, out)

@@ -52,3 +52,33 @@ func TestErrors(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestShardFlagValidation mirrors ipregel-run's checks: -overlap and
+// -steal are shard-scheduler features and are rejected without
+// -shards > 1, while a sharded overlap+steal experiment runs normally.
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantSub string
+	}{
+		{[]string{"-exp", "table1", "-shards", "0"}, "-shards must be at least 1"},
+		{[]string{"-exp", "table1", "-overlap"}, "needs -shards > 1"},
+		{[]string{"-exp", "table1", "-shards", "1", "-overlap"}, "needs -shards > 1"},
+		{[]string{"-exp", "table1", "-steal"}, "needs -shards > 1"},
+		{[]string{"-exp", "table1", "-shards", "1", "-steal"}, "needs -shards > 1"},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		err := run(c.args, &sb)
+		if err == nil {
+			t.Fatalf("args %v: expected error", c.args)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("args %v: error %q does not mention %q", c.args, err, c.wantSub)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-exp", "table1", "-divisor", "4096", "-quick", "-shards", "2", "-overlap", "-steal"}, &sb); err != nil {
+		t.Fatalf("sharded overlap experiment: %v\n%s", err, sb.String())
+	}
+}

@@ -33,6 +33,8 @@ func TestRunAppsOnGeneratedGraphs(t *testing.T) {
 		{[]string{"-app", "wcc", "-graph", "chain:10"}, "weak components: 1"},
 		{[]string{"-app", "sssp", "-graph", "road:10:10", "-combiner", "atomic", "-shards", "4", "-source", "1"}, "reached: 100 of 100"},
 		{[]string{"-app", "hashmin", "-graph", "ring:30", "-shards", "2", "-partition", "hash", "-bypass"}, "components: 1"},
+		{[]string{"-app", "sssp", "-graph", "road:10:10", "-shards", "4", "-overlap", "-steal", "-source", "1"}, "reached: 100 of 100"},
+		{[]string{"-app", "hashmin", "-graph", "ring:30", "-shards", "2", "-overlap", "-bypass"}, "components: 1"},
 		{[]string{"-app", "scc", "-graph", "ring:12"}, "strong components: 1"},
 		{[]string{"-app", "reach64", "-graph", "chain:10", "-source", "0"}, "reached: 10 of 10"},
 	}
@@ -104,6 +106,10 @@ func TestRunFlagValidation(t *testing.T) {
 		{[]string{"-shards", "2", "-framework", "pregelplus", "-graph", "ring:5"}, "does not support"},
 		{[]string{"-shards", "2", "-partition", "bogus", "-graph", "ring:5"}, "partition"},
 		{[]string{"-shards", "2", "-combiner", "broadcast", "-graph", "ring:5"}, "pull"},
+		{[]string{"-overlap", "-graph", "ring:5"}, "-overlap"},
+		{[]string{"-overlap", "-shards", "1", "-graph", "ring:5"}, "needs -shards > 1"},
+		{[]string{"-steal", "-graph", "ring:5"}, "-steal"},
+		{[]string{"-steal", "-shards", "1", "-graph", "ring:5"}, "needs -shards > 1"},
 	}
 	for _, c := range cases {
 		var sb strings.Builder

@@ -925,6 +925,17 @@ func (e *Engine[V, M]) maybeCheckpoint() error {
 	if cp == nil || e.superstep%cp.Every != 0 {
 		return nil
 	}
+	if e.drainer != nil && !e.drainer.quiesced() {
+		// Structurally impossible — the barrier quiesces the drainers
+		// before the residual drain, and checkpoints happen after the
+		// barrier — but a snapshot racing an in-flight batch would be
+		// silently torn, so the guard is unconditional.
+		return &InvariantError{
+			Superstep: e.superstep,
+			Invariant: "drain-quiesce",
+			Detail:    "checkpoint attempted with early-delivery batches still in flight",
+		}
+	}
 	w, err := cp.Sink(e.superstep)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint sink: %w", err)

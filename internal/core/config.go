@@ -236,6 +236,30 @@ type Config struct {
 	// Partition selects how global slots map to shards when Shards > 1;
 	// the zero value is contiguous range partitioning.
 	Partition Partition
+	// OverlapDelivery overlaps cross-shard message delivery with the
+	// compute phase (Shards > 1 only): when a worker's per-destination
+	// routing cache evicts enough entries to fill a batch, the batch is
+	// handed to the destination shard's dedicated drainer goroutine and
+	// applied while compute is still running. Safe because the push
+	// combiners are commutative/associative, so delivery order cannot
+	// change results; each shard's mailbox still has a single batch
+	// applier, so early delivery stays contention-free. The barrier flush
+	// shrinks to a residual drain of whatever is left in the caches.
+	// Rejected when Shards <= 1 (there is no cross-shard traffic to
+	// overlap). The pull combiner is already rejected under sharding and
+	// remains barrier-only: its collect phase must observe a complete,
+	// stable outbox set, which only exists at the barrier.
+	OverlapDelivery bool
+	// WorkStealing replaces the shared-cursor span claiming of the
+	// sharded compute phase with per-worker queues over (shard,
+	// slot-range) tasks: each worker is seeded with the spans of "its"
+	// shards (shard s -> worker s mod threads, preserving cache
+	// affinity) and steals from other workers' queues when its own runs
+	// dry — RMAT-style degree skew makes static edge-balanced cuts
+	// insufficient (StepStats.ShardImbalance measures exactly that).
+	// Spans are cut finer than under the static split so there is
+	// something left to steal. Rejected when Shards <= 1.
+	WorkStealing bool
 	// Observers are lifecycle sinks registered at construction, ahead of
 	// any added later with Engine.AddObserver. Carrying them in Config
 	// lets callers that build engines indirectly (the algorithms helpers,
@@ -265,6 +289,12 @@ func (c Config) VersionName() string {
 		if c.Partition != PartitionRange {
 			name += ":" + c.Partition.String()
 		}
+	}
+	if c.OverlapDelivery {
+		name += "+overlap"
+	}
+	if c.WorkStealing {
+		name += "+steal"
 	}
 	return name
 }

@@ -88,6 +88,15 @@ type Context[V, M any] struct {
 	// runVertexAt for the cross-shard traffic counter.
 	route    *shardRouter[M]
 	curShard int32
+
+	// Sharded-engine scheduling/activity counters (nil/0 otherwise):
+	// stolen counts spans this worker took from another worker's queue
+	// (Config.WorkStealing); activated/halted are per-shard deltas of
+	// the active-flag population, folded into each shard's incremental
+	// active count at the barrier (frontier-aware shard skipping).
+	stolen    int64
+	activated []int64
+	halted    []int64
 }
 
 // Superstep returns the current superstep number, starting at 0
@@ -190,6 +199,9 @@ func (c *Context[V, M]) VoteToHalt(v Vertex[V, M]) {
 	if sh.active[v.local] != 0 {
 		sh.active[v.local] = 0
 		c.votes++
+		if c.halted != nil {
+			c.halted[v.shard]++
+		}
 	}
 }
 
@@ -212,6 +224,7 @@ func (c *Context[V, M]) enroll(slot int) {
 
 func (c *Context[V, M]) resetSuperstep() {
 	c.msgs, c.ran, c.votes = 0, 0, 0
+	c.stolen = 0
 	c.frontierBuf = c.frontierBuf[:0]
 	if c.cache != nil {
 		c.cache.combined = 0
@@ -219,4 +232,6 @@ func (c *Context[V, M]) resetSuperstep() {
 	if c.route != nil {
 		c.route.resetSuperstep()
 	}
+	clear(c.activated)
+	clear(c.halted)
 }

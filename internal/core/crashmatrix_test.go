@@ -236,6 +236,21 @@ func TestCrashMatrixSharded(t *testing.T) {
 		Combiner: core.CombinerAtomic, Threads: 2, CheckInvariants: true,
 		Shards: 3, Partition: core.PartitionHash,
 	})
+	// Overlapped-delivery cells: every checkpoint here is taken on an
+	// engine with live per-shard drainers, so the kill-anywhere sweep
+	// proves barrier snapshots quiesce in-flight early batches (a torn
+	// mailbox would surface as a wrong recovered value or a failed
+	// conservation audit on resume).
+	configs = append(configs,
+		core.Config{
+			Combiner: core.CombinerSpin, Threads: 2, CheckInvariants: true,
+			Shards: 4, OverlapDelivery: true,
+		},
+		core.Config{
+			Combiner: core.CombinerAtomic, Threads: 2, CheckInvariants: true, SelectionBypass: true,
+			Shards: 4, OverlapDelivery: true, WorkStealing: true,
+		},
+	)
 	for _, cfg := range configs {
 		cfg := cfg
 		t.Run(cfg.VersionName(), func(t *testing.T) {

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// overlapBatchCap is the number of evicted (local slot, message) entries a
+// routing cache accumulates before handing the batch to the destination
+// shard's drainer. Small enough that batches form even on modest graphs,
+// large enough that the per-batch channel handoff amortises across many
+// deliveries.
+const overlapBatchCap = 128
+
+// shardBatch is one unit of overlapped cross-shard delivery: parallel
+// arrays of destination local slots and their (already router-combined)
+// messages, bound for a single shard's mailbox.
+type shardBatch[M any] struct {
+	dst []int32
+	msg []M
+}
+
+func (b *shardBatch[M]) reset() {
+	b.dst = b.dst[:0]
+	b.msg = b.msg[:0]
+}
+
+func (b *shardBatch[M]) full() bool { return len(b.dst) >= overlapBatchCap }
+
+func (b *shardBatch[M]) add(local int32, m M) {
+	b.dst = append(b.dst, local)
+	b.msg = append(b.msg, m)
+}
+
+// shardDrainer owns the Config.OverlapDelivery machinery: one long-lived
+// goroutine per shard consuming a queue of inbound batches and applying
+// them to that shard's mailbox while the compute phase is still running.
+//
+// The one-drainer-per-shard invariant is what makes early delivery
+// contention-free: with overlap on, every delivery a sharded engine makes
+// during compute goes through a batch (evictions no longer touch
+// mailboxes directly), so each shard's mailbox has exactly one writer —
+// its drainer — until the barrier. At the barrier the engine quiesces the
+// drainers (quiesce waits for every submitted batch to be applied) before
+// the residual drain flushes the caches' remaining entries, preserving
+// the single-writer property end to end and keeping the
+// message-conservation audit exact: a quiesced barrier has every Send
+// accounted for as a router combine, a mailbox combine or a mailbox fill.
+type shardDrainer[M any] struct {
+	queues []chan *shardBatch[M]
+	free   chan *shardBatch[M]
+	// inFlight counts submitted-but-unapplied batches; the checkpoint
+	// writer asserts it is zero (checkpoints only happen at quiesced
+	// barriers).
+	inFlight atomic.Int64
+	// pending gates quiesce: Add on submit, Done after apply.
+	pending sync.WaitGroup
+	// workers tracks the drainer goroutines for stop.
+	workers sync.WaitGroup
+	mbs     []mailbox[M]
+	onPanic func(r any)
+	started bool
+}
+
+func newShardDrainer[M any](mbs []mailbox[M], onPanic func(r any)) *shardDrainer[M] {
+	d := &shardDrainer[M]{
+		queues:  make([]chan *shardBatch[M], len(mbs)),
+		free:    make(chan *shardBatch[M], 4*len(mbs)),
+		mbs:     mbs,
+		onPanic: onPanic,
+	}
+	for s := range d.queues {
+		// A small buffer lets a worker hand off a batch and keep
+		// computing; a drainer that falls behind exerts natural
+		// backpressure through the blocking send.
+		d.queues[s] = make(chan *shardBatch[M], 4)
+	}
+	return d
+}
+
+// start spawns one drainer goroutine per shard. Called at the top of
+// RunContext; stop is deferred on every exit path.
+func (d *shardDrainer[M]) start() {
+	d.started = true
+	for s := range d.queues {
+		s := s
+		d.workers.Add(1)
+		go func() {
+			defer d.workers.Done()
+			for b := range d.queues[s] {
+				d.applyOne(s, b)
+				d.pending.Done()
+				d.inFlight.Add(-1)
+				d.recycle(b)
+			}
+		}()
+	}
+}
+
+// applyOne applies one batch to its shard's mailbox. A panic (a buggy
+// user Combine running on the drainer goroutine) is contained exactly
+// like a compute-worker panic — recorded for Run to report — and the
+// drainer keeps consuming so submitting workers can never deadlock on a
+// dead queue.
+func (d *shardDrainer[M]) applyOne(shard int, b *shardBatch[M]) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.onPanic(r)
+		}
+	}()
+	mb := d.mbs[shard]
+	for i, local := range b.dst {
+		mb.deliver(int(local), b.msg[i])
+	}
+}
+
+// submit hands a full batch to shard's drainer, blocking if its queue is
+// full. Callers are compute workers; quiesce is only ever called after
+// they have all joined the barrier, so Add never races a Wait-at-zero.
+func (d *shardDrainer[M]) submit(shard int, b *shardBatch[M]) {
+	d.pending.Add(1)
+	d.inFlight.Add(1)
+	d.queues[shard] <- b
+}
+
+// quiesce blocks until every submitted batch has been applied. Called at
+// the barrier after the compute workers have joined and before the
+// residual drain, the invariant audit, the buffer swap and any
+// checkpoint — a snapshot can never observe an in-flight batch.
+func (d *shardDrainer[M]) quiesce() { d.pending.Wait() }
+
+// quiesced reports whether no batch is in flight (the checkpoint guard).
+func (d *shardDrainer[M]) quiesced() bool { return d.inFlight.Load() == 0 }
+
+// stop closes the queues and waits for the drainer goroutines to exit.
+func (d *shardDrainer[M]) stop() {
+	if !d.started {
+		return
+	}
+	for _, q := range d.queues {
+		close(q)
+	}
+	d.workers.Wait()
+	d.started = false
+}
+
+// getBatch returns an empty batch, reusing a recycled one when possible.
+func (d *shardDrainer[M]) getBatch() *shardBatch[M] {
+	select {
+	case b := <-d.free:
+		return b
+	default:
+		return &shardBatch[M]{
+			dst: make([]int32, 0, overlapBatchCap),
+			msg: make([]M, 0, overlapBatchCap),
+		}
+	}
+}
+
+func (d *shardDrainer[M]) recycle(b *shardBatch[M]) {
+	b.reset()
+	select {
+	case d.free <- b:
+	default: // freelist full; let the GC take it
+	}
+}
+
+func (d *shardDrainer[M]) footprintBytes() uint64 {
+	var m M
+	per := uint64(overlapBatchCap) * (4 + uint64(unsafe.Sizeof(m)))
+	return uint64(cap(d.free)) * per
+}

@@ -64,9 +64,20 @@ type Engine[V, M any] struct {
 	// sharded-compute work lists (nShards > 1): scanSpans is the
 	// precomputed full-scan split (per-shard edge-balanced cuts when
 	// applicable), frontierSpanBuf the reusable buffer for the per-
-	// superstep frontier split.
+	// superstep frontier split. workBuf holds the per-superstep span
+	// selection (runnable shards only); lastSkipped is the shard-skip
+	// count it produced (StepStats.SkippedShards).
 	scanSpans       []shardSpan
 	frontierSpanBuf []shardSpan
+	workBuf         []int32
+	lastSkipped     int64
+
+	// drainer is the per-shard early-delivery machinery
+	// (Config.OverlapDelivery); nil otherwise. stealQs are the per-worker
+	// task queues of the work-stealing scheduler (Config.WorkStealing),
+	// allocated lazily at the first sharded phase.
+	drainer *shardDrainer[M]
+	stealQs []stealQueue
 
 	workers    []*Context[V, M]
 	agg        *aggregators
@@ -125,6 +136,12 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 	if cfg.Shards > 1 && cfg.Combiner == CombinerPull {
 		return nil, fmt.Errorf("core: sharding batches push deliveries per destination shard; the pull combiner's outboxes are already contention-free (§6.2)")
 	}
+	if cfg.OverlapDelivery && cfg.Shards <= 1 {
+		return nil, fmt.Errorf("core: Config.OverlapDelivery overlaps cross-shard delivery with compute and requires Shards > 1")
+	}
+	if cfg.WorkStealing && cfg.Shards <= 1 {
+		return nil, fmt.Errorf("core: Config.WorkStealing schedules (shard, slot-range) tasks and requires Shards > 1")
+	}
 	addr, err := newAddresser(g, cfg.Addressing)
 	if err != nil {
 		return nil, err
@@ -170,6 +187,15 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 			}
 		}
 		e.buildScanSpans()
+		if cfg.OverlapDelivery {
+			mbs := make([]mailbox[M], e.nShards)
+			for s, sh := range e.shards {
+				mbs[s] = sh.mb
+			}
+			e.drainer = newShardDrainer(mbs, func(r any) {
+				e.panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+			})
+		}
 	}
 	if cfg.Schedule == ScheduleEdgeBalanced && e.nShards == 1 {
 		e.edgeCuts = edgeBalancedCuts(g, e.threads)
@@ -182,6 +208,11 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 			// cache: per-destination-shard caches combine worker-locally
 			// whether or not SenderCombining is set.
 			e.workers[w].route = newShardRouter[M](prog.Combine, e.nShards, cfg.SelectionBypass)
+			if e.drainer != nil {
+				e.workers[w].route.enableOverlap(e.drainer)
+			}
+			e.workers[w].activated = make([]int64, e.nShards)
+			e.workers[w].halted = make([]int64, e.nShards)
 		} else if cfg.SenderCombining {
 			e.workers[w].cache = newSenderCache[M](prog.Combine)
 		}
@@ -229,6 +260,15 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			e.pool = nil
 		}()
 	}
+	if e.drainer != nil {
+		e.drainer.start()
+		defer e.drainer.stop()
+	}
+	if e.nShards > 1 {
+		// Seed the shard-skipping activity summary: zero for a fresh
+		// engine, the restored flags/mailboxes for a resumed one.
+		e.initShardActivity()
+	}
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -249,7 +289,16 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		var ranTotal int64
 		region(ctx, "ipregel.compute", func() { ranTotal = e.computePhase() })
 		if e.nShards > 1 {
-			region(ctx, "ipregel.route", e.drainRouters)
+			region(ctx, "ipregel.route", func() {
+				// Overlap: wait for the in-flight early batches to land
+				// before the residual drain, so the caches' leftovers are
+				// the only undelivered sends and the conservation audit
+				// sees every delivery.
+				if e.drainer != nil {
+					e.drainer.quiesce()
+				}
+				e.drainRouters()
+			})
 		} else if e.cfg.SenderCombining {
 			region(ctx, "ipregel.drain", e.drainSenderCaches)
 		}
@@ -292,6 +341,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		step := e.gatherStepStats(stepStart, ranTotal, false)
 		e.recordStep(step)
 		activeAfter := step.Active
+		if e.nShards > 1 {
+			if err := e.updateShardActivity(step); err != nil {
+				return e.finishRun(start, err)
+			}
+		}
 
 		if e.cfg.SelectionBypass {
 			if activeAfter > 0 {
@@ -382,8 +436,11 @@ func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial b
 	}
 	if e.nShards > 1 {
 		step.ShardMessages = make([]uint64, e.nShards)
+		step.SkippedShards = e.lastSkipped
 		for _, w := range e.workers {
 			step.CrossShardMessages += w.route.cross
+			step.EarlyDeliveredBatches += w.route.earlyBatches
+			step.StolenTasks += w.stolen
 			for d, n := range w.route.sent {
 				step.ShardMessages[d] += n
 			}
@@ -836,6 +893,13 @@ func (e *Engine[V, M]) FootprintBytes() uint64 {
 	}
 	b += uint64(len(e.edgeCuts)) * 4
 	b += uint64(cap(e.scanSpans)+cap(e.frontierSpanBuf)) * 12
+	b += uint64(cap(e.workBuf)) * 4
+	if e.drainer != nil {
+		b += e.drainer.footprintBytes()
+	}
+	for i := range e.stealQs {
+		b += uint64(cap(e.stealQs[i].idx)) * 4
+	}
 	return b
 }
 

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+// checkpointEvery3 runs SSSP under cfg with Every=3 checkpointing and
+// returns the raw bytes of every dump taken.
+func checkpointEvery3(t *testing.T, g *graph.Graph, cfg Config) [][]byte {
+	t.Helper()
+	var dumps []*bytes.Buffer
+	e, err := New(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCheckpointer(Checkpointer[uint32, uint32]{
+		Every: 3,
+		Sink: func(int) (io.Writer, error) {
+			buf := &bytes.Buffer{}
+			dumps = append(dumps, buf)
+			return buf, nil
+		},
+		VCodec: u32Codec{},
+		MCodec: u32Codec{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(dumps))
+	for i, d := range dumps {
+		out[i] = d.Bytes()
+	}
+	return out
+}
+
+func restoreBytes(t *testing.T, data []byte, g *graph.Graph, cfg Config) (*Engine[uint32, uint32], error) {
+	t.Helper()
+	return Restore(bytes.NewReader(data), g, cfg, ssspProg(1), u32Codec{}, u32Codec{})
+}
+
+// fanoutGraph builds a strongly connected n-vertex graph (ids 1..n) whose
+// deg out-edges per vertex are spread across the whole id range: wide
+// strides defeat the router's direct-mapped combining cache, so overlap
+// runs evict enough messages to fill early-delivery batches, and range
+// partitions see heavy cross-shard traffic in every direction.
+func fanoutGraph(n, deg int) *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 0; i < n; i++ {
+		for j := 0; j < deg; j++ {
+			dst := (i + 1 + j*(n/deg+13)) % n
+			if dst == i {
+				dst = (dst + 1) % n
+			}
+			b.AddEdge(graph.VertexID(1+i), graph.VertexID(1+dst))
+		}
+	}
+	return b.MustBuild()
+}
+
+// minLabelProg floods the minimum vertex id (hashmin/WCC on a connected
+// graph): every superstep each improved vertex broadcasts, so message
+// volume stays high — and the uint32 min-combine is order-independent,
+// making results exactly comparable across delivery schedules.
+func minLabelProg() Program[uint32, uint32] {
+	return Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) {
+			if new < *old {
+				*old = new
+			}
+		},
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.IsFirstSuperstep() {
+				*v.Value() = uint32(v.ID())
+				ctx.Broadcast(v, *v.Value())
+				ctx.VoteToHalt(v)
+				return
+			}
+			best := *v.Value()
+			var m uint32
+			for ctx.NextMessage(v, &m) {
+				if m < best {
+					best = m
+				}
+			}
+			if best < *v.Value() {
+				*v.Value() = best
+				ctx.Broadcast(v, best)
+			}
+			ctx.VoteToHalt(v)
+		},
+	}
+}
+
+// rankProg is a PageRank-shaped float program: every vertex broadcasts
+// every superstep for a fixed round count. Float addition is not
+// associative, so cross-schedule comparison uses a tolerance.
+func rankProg(rounds int) Program[float64, float64] {
+	return Program[float64, float64]{
+		Combine: func(old *float64, new float64) { *old += new },
+		Compute: func(ctx *Context[float64, float64], v Vertex[float64, float64]) {
+			if ctx.IsFirstSuperstep() {
+				*v.Value() = 1
+			} else {
+				var sum, m float64
+				for ctx.NextMessage(v, &m) {
+					sum += m
+				}
+				*v.Value() = 0.15 + 0.85*sum
+			}
+			if ctx.Superstep() < rounds {
+				if d := v.OutDegree(); d > 0 {
+					ctx.Broadcast(v, *v.Value()/float64(d))
+				}
+			} else {
+				ctx.VoteToHalt(v)
+			}
+		},
+	}
+}
+
+func sumEarlyBatches(rep Report) uint64 {
+	var n uint64
+	for _, s := range rep.Steps {
+		n += s.EarlyDeliveredBatches
+	}
+	return n
+}
+
+// TestOverlapNeverChangesResults is the ISSUE's property test: early
+// (mid-compute) delivery of evicted batches must be observationally
+// indistinguishable from barrier-only delivery — SSSP and min-label/WCC
+// values exactly equal, the float program within summation-order noise —
+// against both the flat single-shard engine and the barrier-only sharded
+// engine. The asserted EarlyDeliveredBatches totals prove the overlap
+// path actually ran (the graph is sized so the 128-entry batches fill).
+func TestOverlapNeverChangesResults(t *testing.T) {
+	g := fanoutGraph(4096, 8)
+	overlapModes := []struct {
+		name  string
+		steal bool
+	}{
+		{"overlap", false},
+		{"overlap+steal", true},
+	}
+	shardedCfg := func(steal, overlap bool) Config {
+		return Config{
+			Combiner:        CombinerSpin,
+			Shards:          4,
+			Threads:         4,
+			CheckInvariants: true,
+			OverlapDelivery: overlap,
+			WorkStealing:    steal,
+		}
+	}
+
+	t.Run("sssp", func(t *testing.T) {
+		flatE, _, err := Run(g, Config{Combiner: CombinerSpin, Threads: 4, CheckInvariants: true}, ssspProg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		barrierE, barrierRep, err := Run(g, shardedCfg(false, false), ssspProg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := sumEarlyBatches(barrierRep); n != 0 {
+			t.Fatalf("barrier-only run reports %d early batches", n)
+		}
+		flat, barrier := flatE.ValuesDense(), barrierE.ValuesDense()
+		for _, mode := range overlapModes {
+			e, rep, err := Run(g, shardedCfg(mode.steal, true), ssspProg(1))
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			if rep.Supersteps != barrierRep.Supersteps {
+				t.Fatalf("%s: %d supersteps, barrier-only took %d", mode.name, rep.Supersteps, barrierRep.Supersteps)
+			}
+			got := e.ValuesDense()
+			for i := range flat {
+				if got[i] != flat[i] || got[i] != barrier[i] {
+					t.Fatalf("%s: dist[%d] = %d, flat %d, barrier-only %d", mode.name, i, got[i], flat[i], barrier[i])
+				}
+			}
+		}
+	})
+
+	t.Run("minlabel", func(t *testing.T) {
+		flatE, _, err := Run(g, Config{Combiner: CombinerSpin, Threads: 4, CheckInvariants: true}, minLabelProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		barrierE, barrierRep, err := Run(g, shardedCfg(false, false), minLabelProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, barrier := flatE.ValuesDense(), barrierE.ValuesDense()
+		for _, mode := range overlapModes {
+			e, rep, err := Run(g, shardedCfg(mode.steal, true), minLabelProg())
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			if rep.Supersteps != barrierRep.Supersteps {
+				t.Fatalf("%s: %d supersteps, barrier-only took %d", mode.name, rep.Supersteps, barrierRep.Supersteps)
+			}
+			// The superstep-0 full broadcast (32768 wide-stride messages
+			// across 4 threads × 4 shards) must overflow the 512-way
+			// caches into full batches: the property test is not vacuous.
+			if n := sumEarlyBatches(rep); n == 0 {
+				t.Fatalf("%s: no early-delivered batches on a full-broadcast workload", mode.name)
+			}
+			got := e.ValuesDense()
+			for i := range flat {
+				if got[i] != flat[i] || got[i] != barrier[i] {
+					t.Fatalf("%s: label[%d] = %d, flat %d, barrier-only %d", mode.name, i, got[i], flat[i], barrier[i])
+				}
+			}
+		}
+	})
+
+	t.Run("rank", func(t *testing.T) {
+		const rounds = 5
+		flatE, _, err := Run(g, Config{Combiner: CombinerSpin, Threads: 4, CheckInvariants: true}, rankProg(rounds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := flatE.ValuesDense()
+		for _, mode := range overlapModes {
+			e, rep, err := Run(g, shardedCfg(mode.steal, true), rankProg(rounds))
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			if n := sumEarlyBatches(rep); n == 0 {
+				t.Fatalf("%s: no early-delivered batches on an always-broadcast workload", mode.name)
+			}
+			got := e.ValuesDense()
+			for i := range flat {
+				if math.Abs(got[i]-flat[i]) > 1e-9 {
+					t.Fatalf("%s: rank[%d] = %v, flat %v", mode.name, i, got[i], flat[i])
+				}
+			}
+		}
+	})
+}
+
+// twoIslandGraph returns a graph whose high-id half is a separate
+// component from the low-id half: under a 2-shard range partition the
+// second shard receives no traffic from a flood started in the first.
+func twoIslandGraph() *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	const half = 32
+	for i := 0; i < half-1; i++ { // chain 1..32
+		b.AddEdge(graph.VertexID(1+i), graph.VertexID(2+i))
+		b.AddEdge(graph.VertexID(2+i), graph.VertexID(1+i))
+	}
+	for i := 0; i < half; i++ { // ring 1001..1032
+		b.AddEdge(graph.VertexID(1001+i), graph.VertexID(1001+(i+1)%half))
+	}
+	return b.MustBuild()
+}
+
+// TestFrontierAwareShardSkipping pins the skip decision: a shard whose
+// component went quiescent (no active vertices, no inbound deliveries)
+// must be skipped — visibly, via StepStats.SkippedShards — while the
+// flood in the other component proceeds to the exact flat-engine result.
+// The shard-activity audit (CheckInvariants) cross-checks the incremental
+// active counts against a full flag scan at every barrier.
+func TestFrontierAwareShardSkipping(t *testing.T) {
+	g := twoIslandGraph()
+	flatE, _, err := Run(g, Config{Combiner: CombinerSpin, Threads: 2, CheckInvariants: true}, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatE.ValuesDense()
+	for _, bypass := range []bool{false, true} {
+		for _, steal := range []bool{false, true} {
+			cfg := Config{
+				Combiner:        CombinerSpin,
+				Shards:          2,
+				Threads:         2,
+				SelectionBypass: bypass,
+				CheckInvariants: true,
+				OverlapDelivery: true,
+				WorkStealing:    steal,
+			}
+			e, rep, err := Run(g, cfg, ssspProg(1))
+			if err != nil {
+				t.Fatalf("bypass=%v steal=%v: %v", bypass, steal, err)
+			}
+			var skipped int64
+			for si, s := range rep.Steps {
+				if s.SkippedShards < 0 || s.SkippedShards > 2 {
+					t.Fatalf("bypass=%v steal=%v step %d: SkippedShards = %d", bypass, steal, si, s.SkippedShards)
+				}
+				skipped += s.SkippedShards
+			}
+			// The 31-superstep chain flood leaves the island shard idle
+			// from superstep 1 on; it must be skipped, not rescanned.
+			if skipped == 0 {
+				t.Fatalf("bypass=%v steal=%v: quiescent shard was never skipped", bypass, steal)
+			}
+			got := e.ValuesDense()
+			for i := range flat {
+				if got[i] != flat[i] {
+					t.Fatalf("bypass=%v steal=%v: dist[%d] = %d, want %d", bypass, steal, i, got[i], flat[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapCheckpointRoundTrip extends the sharded checkpoint gate to
+// the overlapped engine: every dump taken at a barrier (after drainers
+// quiesced) must restore and resume to the reference values, including
+// restores into a differently-scheduled engine (overlap/steal are
+// runtime modes, not state layout).
+func TestOverlapCheckpointRoundTrip(t *testing.T) {
+	g := gridForCheckpoint(t)
+	ref, _, err := Run(g, Config{Combiner: CombinerSpin, Threads: 2}, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ValuesDense()
+	dump := Config{Combiner: CombinerSpin, Shards: 2, Threads: 2, CheckInvariants: true, OverlapDelivery: true, WorkStealing: true}
+	dumps := checkpointEvery3(t, g, dump)
+	if len(dumps) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	// Resume each dump under every scheduling mode: the snapshot must be
+	// schedule-agnostic.
+	resumes := []Config{
+		dump,
+		{Combiner: CombinerSpin, Shards: 2, Threads: 2, CheckInvariants: true},
+		{Combiner: CombinerSpin, Shards: 2, Threads: 2, CheckInvariants: true, WorkStealing: true},
+	}
+	for di, data := range dumps {
+		for _, rcfg := range resumes {
+			restored, err := restoreBytes(t, data, g, rcfg)
+			if err != nil {
+				t.Fatalf("%s: restore #%d: %v", rcfg.VersionName(), di, err)
+			}
+			if _, err := restored.Run(); err != nil {
+				t.Fatalf("%s: resumed run #%d: %v", rcfg.VersionName(), di, err)
+			}
+			got := restored.ValuesDense()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: restore #%d: dist[%d] = %d, want %d", rcfg.VersionName(), di, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

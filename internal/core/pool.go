@@ -1,5 +1,56 @@
 package core
 
+import "sync"
+
+// stealQueue is one worker's task queue under the work-stealing shard
+// scheduler (Config.WorkStealing): a deque of span indices, seeded by
+// shard affinity before the phase, with the owner popping from the
+// front (preserving the seeded scan order and its cache locality) and
+// thieves popping from the back. A plain mutex serialises both ends —
+// each pop hands out a span of thousands of vertices, so the lock is
+// nowhere near the per-vertex hot path. The padding keeps two queues
+// off one cache line; without it adjacent owners' pops false-share.
+type stealQueue struct {
+	_    [64]byte
+	mu   sync.Mutex
+	idx  []int32
+	head int
+	_    [64]byte
+}
+
+// reset and push run single-threaded at seed time, before the phase's
+// workers are dispatched; no locking needed.
+func (q *stealQueue) reset() {
+	q.idx = q.idx[:0]
+	q.head = 0
+}
+
+func (q *stealQueue) push(k int32) { q.idx = append(q.idx, k) }
+
+// popFront claims the owner's next task in seeded order.
+func (q *stealQueue) popFront() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.idx) {
+		return 0, false
+	}
+	k := q.idx[q.head]
+	q.head++
+	return k, true
+}
+
+// popBack steals the task the owner would reach last.
+func (q *stealQueue) popBack() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.idx) {
+		return 0, false
+	}
+	k := q.idx[len(q.idx)-1]
+	q.idx = q.idx[:len(q.idx)-1]
+	return k, true
+}
+
 // workerPool keeps one long-lived goroutine per worker for engines
 // configured with Config.PersistentWorkers. The default engine forks
 // goroutines per phase (cheap in Go, and what the fork-join OpenMP model

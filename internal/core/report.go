@@ -43,6 +43,21 @@ type StepStats struct {
 	// differed from the sending vertex's shard — the traffic the routing
 	// layer batches at the barrier. Always 0 on single-shard runs.
 	CrossShardMessages uint64
+	// EarlyDeliveredBatches counts the eviction batches handed to shard
+	// drainers during the compute phase (Config.OverlapDelivery) — the
+	// deliveries that no longer wait for the barrier. Always 0 when
+	// overlap is off or the engine is single-shard.
+	EarlyDeliveredBatches uint64
+	// StolenTasks counts the (shard, slot-range) spans a worker executed
+	// out of another worker's queue (Config.WorkStealing) — how much the
+	// dynamic scheduler rebalanced beyond the static shard affinity.
+	// Always 0 when stealing is off or the engine is single-shard.
+	StolenTasks int64
+	// SkippedShards counts the shards the compute phase dropped entirely
+	// this superstep because nothing in them could run: no active vertex
+	// and no delivery last superstep (under selection bypass, an empty
+	// shard frontier). Always 0 on single-shard runs.
+	SkippedShards int64
 	// Duration is the wall-clock time of the superstep.
 	Duration time.Duration
 	// WorkerBusy holds each worker's busy time this superstep when

@@ -36,12 +36,22 @@ type engineShard[V, M any] struct {
 	// checkpointing and audits translate through partitioner.globalOf.
 	frontier     []int32
 	frontierNext []int32
+
+	// activeCount mirrors the number of set active flags, maintained
+	// incrementally from the workers' per-shard activation/halt deltas at
+	// each barrier (audited against a full scan under CheckInvariants).
+	// runnable caches the shard-skip decision for the next superstep:
+	// a shard with no active vertex and no delivery last superstep has
+	// nothing to run, so the scan phase drops its spans entirely.
+	activeCount int64
+	runnable    bool
 }
 
 func newEngineShard[V, M any](cfg Config, localN int, combine CombineFunc[M]) (*engineShard[V, M], error) {
 	sh := &engineShard[V, M]{
-		values: make([]V, localN),
-		active: make([]uint8, localN),
+		values:   make([]V, localN),
+		active:   make([]uint8, localN),
+		runnable: true,
 	}
 	var err error
 	// Shards are push-only (New rejects pull × shards), so the graph and
@@ -126,11 +136,28 @@ type shardSpan struct {
 	lo, hi int32
 }
 
+// stealSpanFactor is how many more spans per shard the work-stealing
+// scheduler cuts compared with the shared-cursor default: a static
+// threads-way split leaves nothing for a fast worker to steal once each
+// queue holds one span, so stealing needs finer grains to rebalance.
+const stealSpanFactor = 4
+
+// spanParts is the number of local-slot ranges each shard's scan (or
+// frontier) is cut into: `threads` under the shared-cursor scheduler,
+// finer under work stealing.
+func (e *Engine[V, M]) spanParts() int {
+	t := e.threads
+	if e.cfg.WorkStealing && t > 1 {
+		t *= stealSpanFactor
+	}
+	return t
+}
+
 // buildScanSpans precomputes the sharded full-scan work list: for each
-// shard, up to `threads` local-slot ranges, so every worker can claim
+// shard, up to spanParts() local-slot ranges, so every worker can claim
 // work from any shard (no worker is idled by an empty shard).
 func (e *Engine[V, M]) buildScanSpans() {
-	t := e.threads
+	t := e.spanParts()
 	for s := 0; s < e.nShards; s++ {
 		localN := e.part.localSlots(s)
 		if localN == 0 {
@@ -213,13 +240,16 @@ func (e *Engine[V, M]) forSpans(n int, body func(w, k int)) {
 	})
 }
 
-// computePhaseSharded is computePhase over shard-local spans.
+// computePhaseSharded is computePhase over shard-local spans: select the
+// runnable shards' spans (frontier-aware skipping), then execute them
+// under the shared-cursor or work-stealing scheduler.
 func (e *Engine[V, M]) computePhaseSharded() int64 {
 	first := e.superstep == 0
+	var spans []shardSpan
+	var body func(w int, sp shardSpan)
 	if first || !e.cfg.SelectionBypass {
-		spans := e.scanSpans
-		e.forSpans(len(spans), func(w, k int) {
-			sp := spans[k]
+		spans = e.scanSpans
+		body = func(w int, sp shardSpan) {
 			sh := e.shards[sp.shard]
 			for local := sp.lo; local < sp.hi; local++ {
 				global := e.part.globalOf(int(sp.shard), int(local))
@@ -230,17 +260,22 @@ func (e *Engine[V, M]) computePhaseSharded() int64 {
 					e.runVertexAt(w, sp.shard, local, int32(global))
 				}
 			}
-		})
+		}
 	} else {
-		spans := e.frontierSpans()
-		e.forSpans(len(spans), func(w, k int) {
-			sp := spans[k]
+		spans = e.frontierSpans()
+		body = func(w int, sp shardSpan) {
 			sh := e.shards[sp.shard]
 			for i := sp.lo; i < sp.hi; i++ {
 				local := sh.frontier[i]
 				e.runVertexAt(w, sp.shard, local, int32(e.part.globalOf(int(sp.shard), int(local))))
 			}
-		})
+		}
+	}
+	work := e.selectSpans(spans, first)
+	if e.cfg.WorkStealing {
+		e.forSpansStealing(work, spans, body)
+	} else {
+		e.forSpans(len(work), func(w, k int) { body(w, spans[work[k]]) })
 	}
 	var ran int64
 	for _, w := range e.workers {
@@ -249,19 +284,119 @@ func (e *Engine[V, M]) computePhaseSharded() int64 {
 	return ran
 }
 
+// selectSpans is the frontier-aware shard-skipping filter: it returns
+// the indices of the spans worth running this superstep and records the
+// skip count for StepStats.SkippedShards. A shard is skipped exactly
+// when nothing in it can run — no vertex is active and no delivery
+// reached it last superstep (engineShard.runnable, maintained at each
+// barrier). The decision is exact, not heuristic: the scan guard is
+// `active || hasCurrent`, and after the swap hasCurrent is true only
+// for slots delivered to last superstep. Under selection bypass the
+// frontier spans already exclude empty shards, so only the skip count
+// is derived here.
+func (e *Engine[V, M]) selectSpans(spans []shardSpan, first bool) []int32 {
+	work := e.workBuf[:0]
+	e.lastSkipped = 0
+	switch {
+	case first:
+		for k := range spans {
+			work = append(work, int32(k))
+		}
+	case e.cfg.SelectionBypass:
+		for k := range spans {
+			work = append(work, int32(k))
+		}
+		for _, sh := range e.shards {
+			if len(sh.frontier) == 0 {
+				e.lastSkipped++
+			}
+		}
+	default:
+		for k, sp := range spans {
+			if e.shards[sp.shard].runnable {
+				work = append(work, int32(k))
+			}
+		}
+		for _, sh := range e.shards {
+			if !sh.runnable {
+				e.lastSkipped++
+			}
+		}
+	}
+	e.workBuf = work
+	return work
+}
+
+// forSpansStealing executes the selected spans under the work-stealing
+// scheduler: each worker's queue is seeded with the spans of "its"
+// shards (shard s -> worker s mod threads, preserving the cache
+// affinity of the static split), owners pop from the front in seeded
+// order, and a worker whose queue runs dry pops from the back of its
+// neighbours' queues — the classic deque discipline, here with a plain
+// mutex per queue (span grains are thousands of vertices, so queue ops
+// are far off the hot path).
+func (e *Engine[V, M]) forSpansStealing(work []int32, spans []shardSpan, body func(w int, sp shardSpan)) {
+	n := len(work)
+	if n == 0 {
+		return
+	}
+	t := e.threads
+	if t == 1 || n == 1 {
+		e.guard(0, func() {
+			for _, k := range work {
+				body(0, spans[k])
+			}
+		})
+		return
+	}
+	if e.stealQs == nil {
+		e.stealQs = make([]stealQueue, t)
+	}
+	for i := range e.stealQs {
+		e.stealQs[i].reset()
+	}
+	for _, k := range work {
+		e.stealQs[int(spans[k].shard)%t].push(k)
+	}
+	e.dispatch(t, func(w int) {
+		e.guard(w, func() {
+			ctx := e.workers[w]
+			for {
+				k, ok := e.stealQs[w].popFront()
+				if !ok {
+					for off := 1; off < t; off++ {
+						if k, ok = e.stealQs[(w+off)%t].popBack(); ok {
+							ctx.stolen++
+							break
+						}
+					}
+				}
+				if !ok {
+					return
+				}
+				body(w, spans[k])
+			}
+		})
+	})
+}
+
 func (e *Engine[V, M]) runVertexAt(w int, shard, local int32, global int32) {
 	ctx := e.workers[w]
 	ctx.curShard = shard
-	e.shards[shard].active[local] = 1
+	sh := e.shards[shard]
+	if sh.active[local] == 0 {
+		ctx.activated[shard]++
+	}
+	sh.active[local] = 1
 	ctx.ran++
 	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: global, shard: shard, local: local})
 }
 
 // frontierSpans chunks each shard's current frontier into up to
-// `threads` ranges, reusing the span buffer across supersteps.
+// spanParts() ranges, reusing the span buffer across supersteps.
 func (e *Engine[V, M]) frontierSpans() []shardSpan {
 	spans := e.frontierSpanBuf[:0]
-	t := e.threads
+	t := e.spanParts()
 	for s, sh := range e.shards {
 		n := len(sh.frontier)
 		if n == 0 {
@@ -280,6 +415,74 @@ func (e *Engine[V, M]) frontierSpans() []shardSpan {
 	}
 	e.frontierSpanBuf = spans
 	return spans
+}
+
+// updateShardActivity folds the workers' per-shard activation/halt
+// deltas into each shard's incremental active count and derives the
+// next superstep's shard-skip decision: a shard is runnable iff it has
+// an active vertex or received a delivery this superstep (after the
+// swap, exactly the slots with current mail). Runs single-threaded at
+// the barrier on the completed-superstep path; under CheckInvariants
+// the incremental count is audited against a full flag scan.
+func (e *Engine[V, M]) updateShardActivity(step StepStats) error {
+	for s, sh := range e.shards {
+		var delta int64
+		for _, w := range e.workers {
+			delta += w.activated[s] - w.halted[s]
+		}
+		sh.activeCount += delta
+		sh.runnable = sh.activeCount > 0 || (s < len(step.ShardMessages) && step.ShardMessages[s] > 0)
+	}
+	if e.cfg.CheckInvariants {
+		return e.auditShardActivity()
+	}
+	return nil
+}
+
+// initShardActivity seeds the activity summary from the engine's
+// current state: all-zero for a fresh engine (superstep 0 runs every
+// vertex regardless), the restored flags and mailboxes for an engine
+// built by Restore — whose first superstep is not 0 and therefore
+// consults runnable immediately.
+func (e *Engine[V, M]) initShardActivity() {
+	for _, sh := range e.shards {
+		var n int64
+		for _, a := range sh.active {
+			if a != 0 {
+				n++
+			}
+		}
+		sh.activeCount = n
+		received := false
+		for local := range sh.values {
+			if sh.mb.hasCurrent(local) {
+				received = true
+				break
+			}
+		}
+		sh.runnable = n > 0 || received
+	}
+}
+
+// auditShardActivity is the CheckInvariants cross-check of the
+// incremental active counts against the ground-truth flag arrays.
+func (e *Engine[V, M]) auditShardActivity() error {
+	for s, sh := range e.shards {
+		var n int64
+		for _, a := range sh.active {
+			if a != 0 {
+				n++
+			}
+		}
+		if n != sh.activeCount {
+			return &InvariantError{
+				Superstep: e.superstep,
+				Invariant: "shard-activity",
+				Detail:    fmt.Sprintf("shard %d: incremental active count %d but %d active flags are set; the shard-skip decision would be wrong", s, sh.activeCount, n),
+			}
+		}
+	}
+	return nil
 }
 
 // drainRouters flushes every worker's per-shard routing buffers at the

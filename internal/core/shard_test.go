@@ -9,21 +9,28 @@ import (
 
 // shardedVersions enumerates the multi-shard configurations the parity
 // tests sweep: both push combiners, scan and bypass, both partitioners,
-// 2 and 4 shards.
+// 2 and 4 shards, and every delivery/scheduling mode (barrier-only,
+// overlapped drains, work stealing, and both together).
 func shardedVersions() []Config {
 	var out []Config
 	for _, comb := range []Combiner{CombinerSpin, CombinerAtomic} {
 		for _, bypass := range []bool{false, true} {
 			for _, kind := range []Partition{PartitionRange, PartitionHash} {
 				for _, shards := range []int{2, 4} {
-					out = append(out, Config{
-						Combiner:        comb,
-						SelectionBypass: bypass,
-						Partition:       kind,
-						Shards:          shards,
-						Threads:         4,
-						CheckInvariants: true,
-					})
+					for _, mode := range []struct{ overlap, steal bool }{
+						{false, false}, {true, false}, {false, true}, {true, true},
+					} {
+						out = append(out, Config{
+							Combiner:        comb,
+							SelectionBypass: bypass,
+							Partition:       kind,
+							Shards:          shards,
+							Threads:         4,
+							CheckInvariants: true,
+							OverlapDelivery: mode.overlap,
+							WorkStealing:    mode.steal,
+						})
+					}
 				}
 			}
 		}
@@ -136,6 +143,9 @@ func TestSingleShardStatsStayFlat(t *testing.T) {
 	for si, s := range rep.Steps {
 		if s.ShardMessages != nil || s.ShardNextFrontier != nil || s.CrossShardMessages != 0 {
 			t.Fatalf("step %d: single-shard report has shard fields: %+v", si, s)
+		}
+		if s.EarlyDeliveredBatches != 0 || s.StolenTasks != 0 || s.SkippedShards != 0 {
+			t.Fatalf("step %d: single-shard report has overlap/scheduler fields: %+v", si, s)
 		}
 		if s.ShardImbalance() != 0 {
 			t.Fatalf("step %d: single-shard ShardImbalance = %v", si, s.ShardImbalance())
@@ -324,9 +334,23 @@ func TestShardConfigValidation(t *testing.T) {
 	if _, err := New(g, Config{Shards: 2, Combiner: CombinerPull}, prog); err == nil || !strings.Contains(err.Error(), "pull") {
 		t.Fatalf("pull+shards: %v", err)
 	}
+	// Overlap and stealing are shard-scheduler features: meaningless (and
+	// rejected) on the flat engine, whether Shards is unset or exactly 1.
+	for _, shards := range []int{0, 1} {
+		if _, err := New(g, Config{Shards: shards, OverlapDelivery: true}, prog); err == nil || !strings.Contains(err.Error(), "OverlapDelivery") {
+			t.Fatalf("overlap with Shards=%d: %v", shards, err)
+		}
+		if _, err := New(g, Config{Shards: shards, WorkStealing: true}, prog); err == nil || !strings.Contains(err.Error(), "WorkStealing") {
+			t.Fatalf("stealing with Shards=%d: %v", shards, err)
+		}
+	}
 	cfg := Config{Shards: 4, Partition: PartitionHash}
 	if name := cfg.VersionName(); !strings.Contains(name, "shards4") || !strings.Contains(name, "hash") {
 		t.Fatalf("VersionName %q does not name the shard config", name)
+	}
+	cfg = Config{Shards: 4, OverlapDelivery: true, WorkStealing: true}
+	if name := cfg.VersionName(); !strings.Contains(name, "overlap") || !strings.Contains(name, "steal") {
+		t.Fatalf("VersionName %q does not name the overlap/steal modes", name)
 	}
 	if name := (Config{}).VersionName(); strings.Contains(name, "shards") {
 		t.Fatalf("single-shard VersionName %q mentions shards", name)

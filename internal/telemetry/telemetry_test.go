@@ -106,6 +106,25 @@ func TestCollectorTracksRun(t *testing.T) {
 	}
 }
 
+// TestCollectorOverlapCounters pins the fold of the overlap/scheduler
+// StepStats fields into their /metrics counters (fed directly — live
+// small-graph runs rarely fill an early-delivery batch).
+func TestCollectorOverlapCounters(t *testing.T) {
+	c := NewCollector()
+	c.OnSuperstepEnd(0, core.StepStats{EarlyDeliveredBatches: 5, StolenTasks: 3, SkippedShards: 2})
+	c.OnSuperstepEnd(1, core.StepStats{EarlyDeliveredBatches: 1, StolenTasks: 4, SkippedShards: 1})
+	snap := c.Snapshot()
+	if got := snap["ipregel_early_delivered_batches_total"]; got != 6 {
+		t.Fatalf("early_delivered_batches_total = %d, want 6", got)
+	}
+	if got := snap["ipregel_stolen_tasks_total"]; got != 7 {
+		t.Fatalf("stolen_tasks_total = %d, want 7", got)
+	}
+	if got := snap["ipregel_skipped_shards_total"]; got != 3 {
+		t.Fatalf("skipped_shards_total = %d, want 3", got)
+	}
+}
+
 func TestWriteMetricsFormat(t *testing.T) {
 	c := NewCollector()
 	if _, _, err := core.Run(ring(8), core.Config{Observers: []core.Observer{c}}, flood(2)); err != nil {

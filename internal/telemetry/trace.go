@@ -49,9 +49,12 @@ type Event struct {
 	Partial       bool    `json:"partial,omitempty"`
 	WorkerBusyNS  []int64 `json:"worker_busy_ns,omitempty"`
 	// shard breakdown (partitioned engines only; absent on single-shard)
-	ShardMessages      []uint64 `json:"shard_messages,omitempty"`
-	ShardNextFrontier  []int64  `json:"shard_next_frontier,omitempty"`
-	CrossShardMessages uint64   `json:"cross_shard_messages,omitempty"`
+	ShardMessages         []uint64 `json:"shard_messages,omitempty"`
+	ShardNextFrontier     []int64  `json:"shard_next_frontier,omitempty"`
+	CrossShardMessages    uint64   `json:"cross_shard_messages,omitempty"`
+	EarlyDeliveredBatches uint64   `json:"early_delivered_batches,omitempty"`
+	StolenTasks           int64    `json:"stolen_tasks,omitempty"`
+	SkippedShards         int64    `json:"skipped_shards,omitempty"`
 
 	// abort
 	Reason string `json:"reason,omitempty"`
@@ -133,6 +136,9 @@ func (t *TraceWriter) OnSuperstepEnd(superstep int, s core.StepStats) {
 	if len(s.ShardMessages) > 0 {
 		ev.ShardMessages = append([]uint64(nil), s.ShardMessages...)
 		ev.CrossShardMessages = s.CrossShardMessages
+		ev.EarlyDeliveredBatches = s.EarlyDeliveredBatches
+		ev.StolenTasks = s.StolenTasks
+		ev.SkippedShards = s.SkippedShards
 	}
 	if len(s.ShardNextFrontier) > 0 {
 		ev.ShardNextFrontier = append([]int64(nil), s.ShardNextFrontier...)
@@ -250,6 +256,9 @@ func ReplayReport(events []Event) (core.Report, error) {
 			if len(ev.ShardMessages) > 0 {
 				step.ShardMessages = append([]uint64(nil), ev.ShardMessages...)
 				step.CrossShardMessages = ev.CrossShardMessages
+				step.EarlyDeliveredBatches = ev.EarlyDeliveredBatches
+				step.StolenTasks = ev.StolenTasks
+				step.SkippedShards = ev.SkippedShards
 			}
 			if len(ev.ShardNextFrontier) > 0 {
 				step.ShardNextFrontier = append([]int64(nil), ev.ShardNextFrontier...)

@@ -64,7 +64,7 @@ func TestTraceRoundTrip(t *testing.T) {
 func TestTraceShardFields(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewTraceWriter(&buf)
-	cfg := core.Config{Threads: 2, Shards: 2, Observers: []core.Observer{tw}}
+	cfg := core.Config{Threads: 2, Shards: 2, OverlapDelivery: true, WorkStealing: true, Observers: []core.Observer{tw}}
 	_, rep, err := core.Run(ring(16), cfg, flood(4))
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +103,49 @@ func TestTraceShardFields(t *testing.T) {
 	}
 	if !sawShards {
 		t.Fatal("no superstep carried a shard breakdown")
+	}
+}
+
+// TestTraceOverlapFieldsRoundTrip feeds the writer a synthetic overlap
+// superstep (live small-graph runs rarely fill a 128-message batch) and
+// checks the scheduler counters survive encode → ReadTrace → replay.
+func TestTraceOverlapFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.OnSuperstepStart(0)
+	step := core.StepStats{
+		Ran:                   8,
+		Messages:              10,
+		Active:                8,
+		ShardMessages:         []uint64{6, 4},
+		CrossShardMessages:    4,
+		EarlyDeliveredBatches: 2,
+		StolenTasks:           3,
+		SkippedShards:         1,
+	}
+	tw.OnSuperstepEnd(0, step)
+	tw.OnRunEnd(core.Report{Supersteps: 1, TotalMessages: 10, Converged: true}, nil)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Steps) != 1 {
+		t.Fatalf("replayed %d steps, want 1", len(replay.Steps))
+	}
+	got := replay.Steps[0]
+	if got.EarlyDeliveredBatches != step.EarlyDeliveredBatches ||
+		got.StolenTasks != step.StolenTasks ||
+		got.SkippedShards != step.SkippedShards {
+		t.Fatalf("replayed overlap counters %d/%d/%d, want %d/%d/%d",
+			got.EarlyDeliveredBatches, got.StolenTasks, got.SkippedShards,
+			step.EarlyDeliveredBatches, step.StolenTasks, step.SkippedShards)
 	}
 }
 

@@ -41,7 +41,10 @@ grep -q "recoveries=2" "$TMP/cli.log" || {
 echo "== ipregel-run: sharded engine (-shards 4) killed mid-run, resumes =="
 # Sharded checkpoints carry per-shard sections plus a topology header;
 # LatestGood must verify them and the supervisor must resume the 4-shard
-# run exactly as it does the flat one.
+# run exactly as it does the flat one. The -overlap -steal leg repeats
+# the kill with per-shard drainer goroutines and dynamic task queues
+# live: the barrier snapshot must quiesce in-flight early batches before
+# writing, or the resumed run lands on wrong distances.
 go run ./cmd/ipregel-run -app sssp -graph road:60:60 -combiner atomic -source 1 \
     -shards 4 -checkpoint-dir "$TMP/ckpt-sharded" -checkpoint-every 4 \
     -chaos 'seed=7,panic@9' -recover-attempts 4 | tee "$TMP/sharded.log"
@@ -51,6 +54,17 @@ grep -q "recovery: attempt 1 failed" "$TMP/sharded.log" || {
 }
 grep -q "reached: 3600 of 3600" "$TMP/sharded.log" || {
     echo "FAIL: sharded CLI run did not reach every vertex after recovery" >&2
+    exit 1
+}
+go run ./cmd/ipregel-run -app sssp -graph road:60:60 -combiner atomic -source 1 \
+    -shards 4 -overlap -steal -checkpoint-dir "$TMP/ckpt-overlap" -checkpoint-every 4 \
+    -chaos 'seed=7,panic@9' -recover-attempts 4 | tee "$TMP/overlap.log"
+grep -q "recovery: attempt 1 failed" "$TMP/overlap.log" || {
+    echo "FAIL: overlap CLI run did not report a recovery" >&2
+    exit 1
+}
+grep -q "reached: 3600 of 3600" "$TMP/overlap.log" || {
+    echo "FAIL: overlap CLI run did not reach every vertex after recovery" >&2
     exit 1
 }
 
