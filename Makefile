@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet build test race fuzz bench telemetry-smoke chaos
+.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke chaos
 check: vet ipregel-vet build test race
 
 vet:
@@ -16,6 +16,11 @@ vet:
 # handle escapes, combiner purity, atomic field discipline).
 ipregel-vet:
 	$(GO) run ./cmd/ipregel-vet ./...
+
+# Machine-readable findings (including //ipregel:ignore-suppressed ones,
+# flagged "suppressed": true) for dashboards and ignore-inventory audits.
+vet-json:
+	$(GO) run ./cmd/ipregel-vet -json ./...
 
 build:
 	$(GO) build ./...

@@ -1,11 +1,12 @@
 // Command ipregel-vet is the module's static-analysis driver: it runs the
-// internal/analysis suite (msgword, ctxescape, bypasshalt, sendphase,
-// nakedatomic) over packages of this module, printing go-vet-style
-// diagnostics and exiting non-zero when any survive suppression.
+// internal/analysis suite over packages of this module, printing
+// go-vet-style diagnostics and exiting non-zero when any survive
+// suppression. Run `ipregel-vet help` for the analyzer roster — it is
+// generated from analysis.All(), so the list never goes stale.
 //
 // Usage:
 //
-//	ipregel-vet [-only name[,name]] [package-dir|dir/...]...
+//	ipregel-vet [-only name[,name]] [-json] [package-dir|dir/...]...
 //	ipregel-vet help
 //
 // With no arguments it checks ./... from the current directory. Findings
@@ -14,11 +15,24 @@
 //	//ipregel:ignore <analyzer> <reason>
 //
 // on the flagged line or the line above; the reason is mandatory.
+//
+// With -json the driver emits a JSON array instead of text. Each element
+// has the shape
+//
+//	{"analyzer": "...", "pos": {"file": "...", "line": N, "col": N},
+//	 "message": "...", "suppressed": false}
+//
+// where file is module-root-relative with forward slashes (stable across
+// machines). Suppressed findings are included with "suppressed": true so
+// tooling can audit the ignore inventory; only unsuppressed findings
+// affect the exit status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -31,10 +45,11 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errw *os.File) int {
+func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("ipregel-vet", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (includes suppressed findings)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,7 +94,7 @@ func run(args []string, out, errw *os.File) int {
 		return 2
 	}
 
-	found := 0
+	var all []analysis.Diagnostic
 	for _, dir := range dirs {
 		targets, err := loader.LoadDir(dir, "")
 		if err != nil {
@@ -87,21 +102,82 @@ func run(args []string, out, errw *os.File) int {
 			return 2
 		}
 		for _, target := range targets {
-			diags, err := analysis.Run(analyzers, loader, target)
+			diags, err := analysis.RunAll(analyzers, loader, target)
 			if err != nil {
 				fmt.Fprintf(errw, "ipregel-vet: %v\n", err)
 				return 2
 			}
-			for _, d := range diags {
-				fmt.Fprintf(out, "%s\n", diagString(d, cwd))
-				found++
+			all = append(all, diags...)
+		}
+	}
+
+	found := 0
+	for _, d := range all {
+		if !d.Suppressed {
+			found++
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(out, all, root); err != nil {
+			fmt.Fprintln(errw, "ipregel-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			if d.Suppressed {
+				continue
 			}
+			fmt.Fprintf(out, "%s\n", diagString(d, cwd))
 		}
 	}
 	if found > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the stable wire shape of one finding. Fields are ordered
+// and named for tooling: changing them breaks the golden test and the
+// GitHub Actions problem matcher in .github/problem-matchers/.
+type jsonDiag struct {
+	Analyzer string  `json:"analyzer"`
+	Pos      jsonPos `json:"pos"`
+	Message  string  `json:"message"`
+	// Suppressed marks findings silenced by an //ipregel:ignore
+	// directive; they are reported for auditability but do not affect
+	// the exit status.
+	Suppressed bool `json:"suppressed"`
+}
+
+type jsonPos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// writeJSON renders diagnostics as an indented JSON array with file
+// paths relative to the module root and forward slashes, so output is
+// byte-stable across invocation directories and operating systems. An
+// empty result is the literal `[]`, never `null`.
+func writeJSON(out io.Writer, diags []analysis.Diagnostic, root string) error {
+	jds := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		jds = append(jds, jsonDiag{
+			Analyzer:   d.Analyzer,
+			Pos:        jsonPos{File: file, Line: d.Pos.Line, Col: d.Pos.Column},
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "\t")
+	return enc.Encode(jds)
 }
 
 // diagString renders a diagnostic with its file path relative to the
@@ -143,11 +219,23 @@ func analyzerNames(all []*analysis.Analyzer) string {
 	return strings.Join(names, ", ")
 }
 
-func printHelp(out *os.File) {
+func printHelp(out io.Writer) {
 	fmt.Fprintln(out, "ipregel-vet checks iPregel framework contracts the compiler cannot see.")
 	fmt.Fprintln(out)
+	// One entry per analyzer, taken from the live registry so the help
+	// text cannot drift from the suite. Continuation lines are indented:
+	// only entry headers sit at column 0, which main_test.go relies on.
 	for _, a := range analysis.All() {
-		fmt.Fprintf(out, "%s: %s\n\n", a.Name, a.Doc)
+		summary, body, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(out, "%s: %s\n", a.Name, summary)
+		for _, line := range strings.Split(body, "\n") {
+			if line == "" {
+				fmt.Fprintln(out)
+			} else {
+				fmt.Fprintf(out, "  %s\n", line)
+			}
+		}
+		fmt.Fprintln(out)
 	}
 	fmt.Fprintln(out, "Suppress a finding with `//ipregel:ignore <analyzer> <reason>` on the")
 	fmt.Fprintln(out, "flagged line or the line above. The reason is mandatory.")

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+
+	"ipregel/internal/analysis"
+)
+
+// TestHelpListsExactlyAll pins the help text to the analyzer registry:
+// every analyzer in analysis.All() appears as a `name: summary` entry,
+// in registry order, and nothing else parses as one. Adding an analyzer
+// without registering it (or retiring one without delisting it) fails
+// here, so the CLI surface cannot drift from the suite.
+func TestHelpListsExactlyAll(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"help"}, &out, &errb); code != 0 {
+		t.Fatalf("help exited %d\nstderr: %s", code, errb.String())
+	}
+	nameLine := regexp.MustCompile(`^([a-z][a-z0-9]*): `)
+	var listed []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if m := nameLine.FindStringSubmatch(line); m != nil {
+			listed = append(listed, m[1])
+		}
+	}
+	var want []string
+	for _, a := range analysis.All() {
+		want = append(want, a.Name)
+	}
+	if !slices.Equal(listed, want) {
+		t.Errorf("help lists %v\nanalysis.All() has %v", listed, want)
+	}
+}
+
+// TestJSONGolden runs the driver in -json mode over a fixture with one
+// live and one suppressed finding and compares byte-for-byte against
+// testdata/jsonsrc.golden. File paths in the output are module-root
+// relative, so the golden holds regardless of where the test runs.
+// Regenerate after an intentional schema change with:
+//
+//	go run ./cmd/ipregel-vet -json cmd/ipregel-vet/testdata/jsonsrc \
+//	  > cmd/ipregel-vet/testdata/jsonsrc.golden
+func TestJSONGolden(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", filepath.Join("testdata", "jsonsrc")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one unsuppressed finding)\nstderr: %s", code, errb.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "jsonsrc.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-json output differs from golden\ngot:\n%s\nwant:\n%s", out.String(), golden)
+	}
+}
+
+// TestJSONIncludesSuppressed guards the auditing contract: the -json
+// stream carries suppressed findings (flagged true), while the text
+// mode and the exit status see only live ones.
+func TestJSONIncludesSuppressed(t *testing.T) {
+	var out, errb strings.Builder
+	run([]string{"-json", filepath.Join("testdata", "jsonsrc")}, &out, &errb)
+	if n := strings.Count(out.String(), `"suppressed": true`); n != 1 {
+		t.Errorf("got %d suppressed findings in JSON, want 1\noutput:\n%s", n, out.String())
+	}
+
+	var text strings.Builder
+	run([]string{filepath.Join("testdata", "jsonsrc")}, &text, &errb)
+	if got := strings.Count(text.String(), "\n"); got != 1 {
+		t.Errorf("text mode printed %d lines, want 1 (suppressed finding must be omitted)\noutput:\n%s", got, text.String())
+	}
+}

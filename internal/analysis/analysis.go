@@ -53,6 +53,9 @@ type Pass struct {
 	TypesInfo *types.Info
 	// loader grants read access to dependency syntax.
 	loader *Loader
+	// sub, when set by Run, returns the target's interprocedural
+	// substrate, built once and shared by every analyzer of the target.
+	sub func() (*Substrate, error)
 	// diags collects the diagnostics reported so far.
 	diags []Diagnostic
 }
@@ -81,6 +84,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks findings silenced by an //ipregel:ignore
+	// directive; Run drops them, RunAll keeps them for machine-readable
+	// output.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -89,7 +96,7 @@ func (d Diagnostic) String() string {
 
 // All returns the ipregel-vet analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MsgWord, CtxEscape, BypassHalt, SendPhase, NakedAtomic, ShardLocal}
+	return []*Analyzer{MsgWord, CtxEscape, BypassHalt, SendPhase, NakedAtomic, ShardLocal, AtomicField, PhaseSafe, CombPure}
 }
 
 // Run executes the analyzers over one target and returns the surviving
@@ -98,6 +105,35 @@ func All() []*Analyzer {
 // are themselves reported, so a suppression is always a documented,
 // auditable decision.
 func Run(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, error) {
+	all, err := RunAll(analyzers, loader, target)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the final filter: suppressed findings stay in the
+// result, marked Suppressed, so machine-readable consumers (-json) can
+// audit every directive-silenced diagnostic.
+func RunAll(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, error) {
+	// The interprocedural substrate is built on demand by the first
+	// analyzer asking for it, then shared by the rest of this target's
+	// passes (the module-wide part is further memoized on the Loader).
+	var sub *Substrate
+	var subErr error
+	subFn := func() (*Substrate, error) {
+		if sub == nil && subErr == nil {
+			sub, subErr = buildTargetSubstrate(loader, loader.Fset, target.Files, target.Types, target.Info)
+		}
+		return sub, subErr
+	}
+
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -107,6 +143,7 @@ func Run(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, e
 			Pkg:       target.Types,
 			TypesInfo: target.Info,
 			loader:    loader,
+			sub:       subFn,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", target.PkgPath, a.Name, err)
@@ -114,15 +151,12 @@ func Run(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, e
 		diags = append(diags, pass.diags...)
 	}
 	sup := collectSuppressions(loader.Fset, target.Files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !sup.covers(d) {
-			kept = append(kept, d)
-		}
+	for i := range diags {
+		diags[i].Suppressed = sup.covers(diags[i])
 	}
-	kept = append(kept, sup.malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	diags = append(diags, sup.malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -134,7 +168,7 @@ func Run(analyzers []*Analyzer, loader *Loader, target *Target) ([]Diagnostic, e
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept, nil
+	return diags, nil
 }
 
 // ignoreDirective is the suppression marker: a comment of the form

@@ -43,12 +43,12 @@ func TestMalformedIgnoreDirective(t *testing.T) {
 	}
 }
 
-// TestAllAnalyzersNamed guards the multichecker surface: six analyzers,
+// TestAllAnalyzersNamed guards the multichecker surface: nine analyzers,
 // distinct names, non-empty docs.
 func TestAllAnalyzersNamed(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() returned %d analyzers, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

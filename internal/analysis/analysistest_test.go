@@ -52,6 +52,9 @@ func TestBypassHaltFixture(t *testing.T)  { testFixture(t, BypassHalt, "bypassha
 func TestSendPhaseFixture(t *testing.T)   { testFixture(t, SendPhase, "sendphase") }
 func TestNakedAtomicFixture(t *testing.T) { testFixture(t, NakedAtomic, "nakedatomic") }
 func TestShardLocalFixture(t *testing.T)  { testFixture(t, ShardLocal, "shardlocal") }
+func TestAtomicFieldFixture(t *testing.T) { testFixture(t, AtomicField, "atomicfield") }
+func TestPhaseSafeFixture(t *testing.T)   { testFixture(t, PhaseSafe, "phasesafe") }
+func TestCombPureFixture(t *testing.T)    { testFixture(t, CombPure, "combpure") }
 func TestSuppressFixture(t *testing.T)    { testFixture(t, MsgWord, "suppress") }
 
 func testFixture(t *testing.T, a *Analyzer, fixture string) {

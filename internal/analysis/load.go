@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader parses and type-checks packages of one module using only the
@@ -35,6 +36,11 @@ type Loader struct {
 
 	std  types.Importer
 	pkgs map[string]*depPkg
+
+	// sub is the memoized module-wide interprocedural substrate
+	// (summary.go); every analysis pass of every target shares it.
+	sub     *Substrate
+	subOnce sync.Once
 
 	// base and augmented are set on the throwaway sub-loader LoadDir
 	// builds for an external test package: deps that do not

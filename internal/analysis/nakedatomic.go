@@ -3,7 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
+	"strings"
 )
 
 // atomicDirective marks a slice-typed struct field whose elements are
@@ -36,33 +36,17 @@ visibility.`,
 func runNakedAtomic(pass *Pass) error {
 	info := pass.TypesInfo
 
-	marked := map[types.Object]bool{}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok || st.Fields == nil {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				if !directiveOn([]*ast.CommentGroup{field.Doc, field.Comment}, atomicDirective) {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := info.Defs[name]; obj != nil {
-						marked[obj] = true
-					}
-				}
-			}
-			return true
-		})
-	}
+	// Field collection and use-site resolution ride on the substrate's
+	// shared FieldRef machinery (summary.go), so the directive set here
+	// is keyed identically to atomicfield's inferred set.
+	marked := markedFields(pass.Files, strings.TrimSuffix(pass.Pkg.Path(), "_test"), atomicDirective)
 	if len(marked) == 0 {
 		return nil
 	}
 
 	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || !marked[info.Uses[sel.Sel]] || len(stack) == 0 {
+		if !ok || len(stack) == 0 || !marked[fieldRefOf(info.Selections[sel])] {
 			return true
 		}
 		parent := stack[len(stack)-1]

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 )
 
 // SendPhase enforces combiner purity. A CombineFunc runs inside message
@@ -19,49 +21,28 @@ var SendPhase = &Analyzer{
 Functions used as core.Program.Combine or converted to core.CombineFunc
 must be pure reductions of their two arguments. This analyzer reports
 ctx.Send and ctx.Broadcast calls lexically inside such functions and
-inside same-package functions they call. (Named aggregators reduce with
-operator constants — core.AggOp — and carry no user code; if functional
-reducers are ever added, their registration sites belong here too.)`,
+inside same-package functions they call; calls that leave the package
+are followed through the interprocedural substrate's call graph, with
+the finding reported at the registration site. (Named aggregators
+reduce with operator constants — core.AggOp — and carry no user code;
+if functional reducers are ever added, their registration sites belong
+here too.)`,
 	Run: runSendPhase,
 }
 
 func runSendPhase(pass *Pass) error {
-	info := pass.TypesInfo
-
-	var roots []ast.Expr
-	walkWithStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CompositeLit:
-			if tv, ok := info.Types[n]; ok && coreNamed(tv.Type, "Program") {
-				if v := fieldValue(n, "Combine"); v != nil {
-					roots = append(roots, v)
-				}
-			}
-		case *ast.CallExpr:
-			// Explicit conversion: core.CombineFunc[T](f).
-			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && coreNamed(tv.Type, "CombineFunc") && len(n.Args) == 1 {
-				roots = append(roots, n.Args[0])
-			}
-		case *ast.ValueSpec:
-			if n.Type != nil {
-				if tv, ok := info.Types[n.Type]; ok && coreNamed(tv.Type, "CombineFunc") {
-					roots = append(roots, n.Values...)
-				}
-			}
-		}
-		return true
-	})
-
-	visited := map[ast.Node]bool{}
-	for _, root := range roots {
+	visited := map[any]bool{}
+	for _, root := range combinerRoots(pass) {
 		pass.scanCombinerPurity(root, visited)
 	}
 	return nil
 }
 
 // scanCombinerPurity resolves fn to a body in this package and reports
-// Send/Broadcast calls inside it, recursing into same-package callees.
-func (pass *Pass) scanCombinerPurity(fn ast.Expr, visited map[ast.Node]bool) {
+// Send/Broadcast calls inside it, recursing into same-package callees;
+// cross-package combiners are checked through the substrate's call graph
+// and reported at the reference site.
+func (pass *Pass) scanCombinerPurity(fn ast.Expr, visited map[any]bool) {
 	switch e := ast.Unparen(fn).(type) {
 	case *ast.FuncLit:
 		pass.scanCombinerBody(e, e.Body, visited)
@@ -71,7 +52,8 @@ func (pass *Pass) scanCombinerPurity(fn ast.Expr, visited map[ast.Node]bool) {
 			return // unresolvable reference
 		}
 		if f.Pkg() != pass.Pkg {
-			return // cross-package combiners are checked in their home package
+			pass.reportCrossPackageSend(e.Pos(), f, visited)
+			return
 		}
 		if decl := funcDeclByName(pass.Files, f.Name()); decl != nil && decl.Body != nil {
 			pass.scanCombinerBody(decl, decl.Body, visited)
@@ -79,7 +61,32 @@ func (pass *Pass) scanCombinerPurity(fn ast.Expr, visited map[ast.Node]bool) {
 	}
 }
 
-func (pass *Pass) scanCombinerBody(node ast.Node, body *ast.BlockStmt, visited map[ast.Node]bool) {
+// reportCrossPackageSend consults the substrate for Send/Broadcast calls
+// reachable from a function outside the target package, reporting at pos
+// (the combiner reference or call site inside the combiner).
+func (pass *Pass) reportCrossPackageSend(pos token.Pos, f *types.Func, visited map[any]bool) {
+	if f.Pkg() != nil && f.Pkg().Path() == CorePath {
+		return // framework entry points (ctx methods themselves) are not combiner bodies
+	}
+	ref := FuncRef(f)
+	if ref == "" {
+		return
+	}
+	if visited["send:"+ref] {
+		return
+	}
+	visited["send:"+ref] = true
+	sub, err := pass.Substrate()
+	if err != nil {
+		return
+	}
+	if _, ok := sub.SendReachable(ref); ok {
+		pass.Reportf(pos, "combine function reaches Send/Broadcast through %s: combiners run inside message delivery (under the mailbox lock / CAS loop) and must be pure reductions of their arguments", shortRef(ref))
+	}
+}
+
+
+func (pass *Pass) scanCombinerBody(node ast.Node, body *ast.BlockStmt, visited map[any]bool) {
 	if visited[node] {
 		return
 	}
@@ -99,11 +106,16 @@ func (pass *Pass) scanCombinerBody(node ast.Node, body *ast.BlockStmt, visited m
 				}
 			}
 		}
-		// Follow same-package callees: a send hidden one call deep is
-		// just as re-entrant.
-		if f, _ := calleeFunc(info, call); f != nil && f.Pkg() == pass.Pkg {
-			if decl := funcDeclByName(pass.Files, f.Name()); decl != nil && decl.Body != nil {
-				pass.scanCombinerBody(decl, decl.Body, visited)
+		// Follow same-package callees lexically — a send hidden one call
+		// deep is just as re-entrant — and cross-package callees through
+		// the substrate's call graph.
+		if f, _ := calleeFunc(info, call); f != nil {
+			if f.Pkg() == pass.Pkg {
+				if decl := funcDeclByName(pass.Files, f.Name()); decl != nil && decl.Body != nil {
+					pass.scanCombinerBody(decl, decl.Body, visited)
+				}
+			} else {
+				pass.reportCrossPackageSend(call.Pos(), f, visited)
 			}
 		}
 		return true

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/types"
 	"strings"
 )
 
@@ -39,26 +38,9 @@ local-named variable. The directive is scoped to the declaring package.`,
 func runShardLocal(pass *Pass) error {
 	info := pass.TypesInfo
 
-	marked := map[types.Object]bool{}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok || st.Fields == nil {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				if !directiveOn([]*ast.CommentGroup{field.Doc, field.Comment}, shardLocalDirective) {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := info.Defs[name]; obj != nil {
-						marked[obj] = true
-					}
-				}
-			}
-			return true
-		})
-	}
+	// Field collection and use-site resolution ride on the substrate's
+	// shared FieldRef machinery (summary.go).
+	marked := markedFields(pass.Files, strings.TrimSuffix(pass.Pkg.Path(), "_test"), shardLocalDirective)
 	if len(marked) == 0 {
 		return nil
 	}
@@ -69,7 +51,7 @@ func runShardLocal(pass *Pass) error {
 			return true
 		}
 		sel, ok := idx.X.(*ast.SelectorExpr)
-		if !ok || !marked[info.Uses[sel.Sel]] {
+		if !ok || !marked[fieldRefOf(info.Selections[sel])] {
 			return true
 		}
 		if name := globalLookingIndex(idx.Index); name != "" {

@@ -1,0 +1,56 @@
+// Fixture for the atomicfield analyzer: a field accessed through
+// sync/atomic anywhere in the module is shared mutable state, and every
+// other access must be atomic too — across function boundaries, with no
+// directive needed. //ipregel:phase-marked functions are exempt (they
+// assert single-threaded barrier-section execution).
+package atomicfield
+
+import "sync/atomic"
+
+type engine struct {
+	// ticks and done are CASed concurrently; flags holds per-slot dedup
+	// words. None carry //ipregel:atomic — the discipline is inferred
+	// from the atomic accesses below.
+	ticks uint64
+	done  uint64
+	flags []uint32
+
+	// steps is only ever accessed plainly: no atomic access anywhere, so
+	// plain reads stay legal.
+	steps int
+}
+
+// bump and flag establish the atomic discipline for ticks and flags.
+func (e *engine) bump() { atomic.AddUint64(&e.ticks, 1) }
+
+func (e *engine) flag(i int) { atomic.StoreUint32(&e.flags[i], 1) }
+
+func (e *engine) finish() { atomic.StoreUint64(&e.done, 1) }
+
+// report reads ticks plainly in a different function than the atomic
+// access: the cross-function true positive.
+func report(e *engine) uint64 {
+	return e.ticks // want `plain read of field atomicfield\.engine\.ticks`
+}
+
+func resetAll(e *engine) {
+	e.ticks = 0 // want `plain write of field atomicfield\.engine\.ticks`
+	for i := range e.flags {
+		e.flags[i] = 0 // want `plain write of element of field atomicfield\.engine\.flags`
+	}
+	e.flags = make([]uint32, 8) // whole-field operation: fine
+	e.steps++                   // never atomic anywhere: fine
+}
+
+// barrierReset runs between quiesce and the next dispatch, where exactly
+// one goroutine is live; plain access is ordered by the WaitGroup edge.
+//
+//ipregel:phase runs in the superstep barrier, drainers quiesced
+func barrierReset(e *engine) {
+	e.ticks = 0 // phase-marked function: exempt
+}
+
+func snapshot(e *engine) uint64 {
+	//ipregel:ignore atomicfield read-only snapshot taken after Run returned
+	return e.done
+}

@@ -1,0 +1,76 @@
+// Fixture for the phasesafe analyzer, both sides of the phase contract:
+// Context/Vertex handles must not flow into goroutine captures or heap
+// stores through any call chain, and //ipregel:phase-marked functions
+// must not be reachable from a goroutine spawn.
+package phasesafe
+
+import (
+	"ipregel/internal/core"
+)
+
+type app struct {
+	saved *core.Context[int64, int64]
+}
+
+var shared = &app{}
+
+// stash parks the context in a struct field: its ctx parameter escapes
+// into the heap directly.
+func stash(a *app, ctx *core.Context[int64, int64]) {
+	a.saved = ctx
+}
+
+// relay only forwards its ctx to stash — the escape is transitive, and
+// every frame of the chain is reported (each call hands the slot view to
+// code that leaks it).
+func relay(a *app, ctx *core.Context[int64, int64]) {
+	stash(a, ctx) // want `Context handle passed to phasesafe\.stash, where it escapes into a heap store`
+}
+
+// watch captures its vertex handle in a spawned goroutine.
+func watch(v core.Vertex[int64, int64]) {
+	go func() {
+		_ = v.ID()
+	}()
+}
+
+// inspect uses its handle and lets it die with the frame: fine.
+func inspect(ctx *core.Context[int64, int64]) int {
+	return ctx.Superstep()
+}
+
+func compute(ctx *core.Context[int64, int64], v core.Vertex[int64, int64]) {
+	relay(shared, ctx) // want `Context handle passed to phasesafe\.relay, where it escapes into a heap store via phasesafe\.stash`
+	watch(v)           // want `Vertex handle passed to phasesafe\.watch, where it escapes into a goroutine`
+	_ = inspect(ctx)   // no escape anywhere in the chain: fine
+
+	//ipregel:ignore phasesafe the snapshot hook clears saved before the superstep ends
+	stash(shared, ctx)
+}
+
+// barrier asserts barrier-section execution but is called from a drainer
+// goroutine below: the directive is contradicted.
+//
+//ipregel:phase merges drained counters between quiesce and dispatch
+func barrier(a *app) { // want `barrier is marked //ipregel:phase but is reachable from a goroutine spawn`
+	_ = a
+}
+
+// safeBarrier is only called from straight-line (non-goroutine) code.
+//
+//ipregel:phase swaps frontiers after every drainer has quiesced
+func safeBarrier(a *app) {
+	_ = a
+}
+
+func drain(a *app) {
+	barrier(a)
+}
+
+func startDrainer(a *app) {
+	go drain(a)
+}
+
+func superstepLoop(a *app) {
+	safeBarrier(a)
+}

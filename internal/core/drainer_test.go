@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipregel/internal/graph"
+)
+
+// These tests pin the failure-path contracts of the overlap drainer
+// (drainer.go): a user-combine panic inside an in-flight batch must land
+// in the engine's panic slot without killing the drainer goroutine, and
+// a context cancellation racing the quiesce/residual-drain barrier must
+// shut down cleanly. CI runs this file under -race (the core race leg),
+// and the engine-level tests keep Config.CheckInvariants on so the
+// conservation audit watches every barrier they reach.
+
+// TestDrainerPanicDuringInFlightBatch drives shardDrainer directly with
+// the same onPanic wiring New installs: a combine panic while a batch is
+// in flight is recovered on the drainer goroutine, recorded once, and
+// the drainer keeps consuming — quiesce returns, inFlight returns to
+// zero, and a later batch still applies.
+func TestDrainerPanicDuringInFlightBatch(t *testing.T) {
+	const sentinel = uint32(0xdeadbeef)
+	combine := func(old *uint32, m uint32) {
+		if m == sentinel || *old == sentinel {
+			panic("combiner exploded")
+		}
+		if m < *old {
+			*old = m
+		}
+	}
+	mb := newMutexMailbox[uint32](8, combine, true)
+	var panicked atomic.Value
+	d := newShardDrainer([]mailbox[uint32]{mb}, func(r any) {
+		panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+	})
+	d.start()
+	defer d.stop()
+
+	// Prime slot 2: the sentinel's delivery must go through combine (the
+	// fill path never runs user code).
+	mb.deliver(2, 7)
+
+	bad := d.getBatch()
+	bad.add(2, sentinel)
+	d.submit(0, bad)
+	d.quiesce()
+
+	if p := panicked.Load(); p == nil || !strings.Contains(p.(string), "combiner exploded") {
+		t.Fatalf("panic slot = %v, want the recovered combiner panic", p)
+	}
+	if !d.quiesced() {
+		t.Fatal("inFlight != 0 after quiesce: the panicked batch was never accounted")
+	}
+
+	// The drainer goroutine must have survived: a batch for an untouched
+	// slot still applies. (Slot 2's lock died with the panic — the engine
+	// aborts the run before anything re-touches a poisoned slot.)
+	ok := d.getBatch()
+	ok.add(5, 41)
+	d.submit(0, ok)
+	d.quiesce()
+	if !d.quiesced() {
+		t.Fatal("inFlight != 0 after post-panic batch")
+	}
+	mb.swap()
+	if got, present := mb.peek(5); !present || got != 41 {
+		t.Fatalf("post-panic batch not applied: slot 5 = (%v, %v), want (41, true)", got, present)
+	}
+}
+
+// sentinelProg is minLabelProg plus a poison pill: at superstep 2 the
+// minimum-id vertex sends the sentinel to a far-away (cross-shard under
+// range partitioning) destination, and the combiner panics on contact.
+func sentinelProg(n int, sentinel uint32) Program[uint32, uint32] {
+	base := minLabelProg()
+	return Program[uint32, uint32]{
+		Combine: func(old *uint32, m uint32) {
+			if m == sentinel || *old == sentinel {
+				panic("sentinel reached a combiner")
+			}
+			if m < *old {
+				*old = m
+			}
+		},
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			if ctx.Superstep() == 2 && v.ID() == 1 {
+				// Twice, so the second delivery is guaranteed to find
+				// either the sentinel or another message in the slot and
+				// run the combiner.
+				ctx.Send(graph.VertexID(n), sentinel)
+				ctx.Send(graph.VertexID(n), sentinel)
+			}
+			base.Compute(ctx, v)
+		},
+	}
+}
+
+// TestOverlapDrainerPanicAbortsRun runs a sharded overlapped engine
+// whose combiner panics mid-run: the engine must return the contained
+// panic as an error (never crash the process), even though the panic can
+// fire on a drainer goroutine applying an early batch.
+func TestOverlapDrainerPanicAbortsRun(t *testing.T) {
+	const n = 2000
+	g := fanoutGraph(n, 8)
+	cfg := Config{
+		Combiner:        CombinerSpin,
+		Shards:          4,
+		Threads:         4,
+		CheckInvariants: true,
+		OverlapDelivery: true,
+	}
+	e, err := New(g, cfg, sentinelProg(n, 0xdeadbeef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "compute panicked at superstep") {
+		t.Fatalf("err = %v, want a contained compute-panic error", err)
+	}
+	if len(rep.Steps) == 0 {
+		t.Fatal("report not sealed: no steps recorded for the aborted run")
+	}
+}
+
+// TestOverlapCancelRacesResidualDrain cancels an overlapped run from
+// another goroutine at varying points, racing the barrier's
+// quiesce-then-residual-drain sequence. The run must come back with the
+// context error (or converge, for late cancels), the drainer must be
+// fully quiesced — no batch still in flight after RunContext returns —
+// and under -race the shutdown must be clean.
+func TestOverlapCancelRacesResidualDrain(t *testing.T) {
+	// A directed ring floods minLabel one hop per superstep: the run
+	// lasts ~n supersteps, long enough for every cancel delay to land
+	// mid-flight.
+	g := ringGraph(3000, 1)
+	cfg := Config{
+		Combiner:        CombinerSpin,
+		Shards:          4,
+		Threads:         4,
+		CheckInvariants: true,
+		OverlapDelivery: true,
+	}
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		e, err := New(g, cfg, minLabelProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(delay)
+		_, err = e.RunContext(ctx)
+		cancel()
+		switch {
+		case err == nil:
+			// A late cancel can lose the race to convergence: legal.
+		case errors.Is(err, context.Canceled):
+			if !strings.Contains(err.Error(), "run cancelled at superstep") {
+				t.Fatalf("delay %v: cancellation error lost its superstep context: %v", delay, err)
+			}
+		default:
+			t.Fatalf("delay %v: err = %v, want nil or context.Canceled", delay, err)
+		}
+		if e.drainer == nil {
+			t.Fatal("overlap engine has no drainer")
+		}
+		if !e.drainer.quiesced() {
+			t.Fatalf("delay %v: batches still in flight after RunContext returned", delay)
+		}
+	}
+}
