@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke chaos
+.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke ipregeld-smoke chaos
 check: vet ipregel-vet build test race
 
 vet:
@@ -29,13 +29,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/algorithms/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/algorithms/... ./internal/telemetry/... ./internal/service/...
 
 # End-to-end check of the live telemetry layer: run a small PageRank
 # with -telemetry/-trace on, scrape /metrics, expvar and pprof, and
 # validate + replay the JSONL trace through ipregel-trace.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# End-to-end check of the resident query daemon: boot ipregeld on :0,
+# run PageRank + SSSP concurrently, verify the cache hit on an
+# identical resubmission and a clean SIGTERM shutdown.
+ipregeld-smoke:
+	sh scripts/ipregeld_smoke.sh
 
 # Fault-injection gauntlet: the kill-anywhere crash matrix (flat and
 # sharded — the CrashMatrix regex also matches TestCrashMatrixSharded)

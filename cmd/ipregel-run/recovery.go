@@ -86,6 +86,10 @@ func recoverRun[T any](
 	if err != nil {
 		return nil, core.Report{}, err
 	}
+	// Release the directory claim when this invocation is done so a later
+	// run in the same process (tests, a driving harness) can resume from
+	// the same -checkpoint-dir.
+	defer sink.Close()
 	sinkFn := sink.Sink
 	var inj *chaos.Injector
 	if rf.chaos != "" {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseGraphArg(t *testing.T) {
+	a, err := parseGraphArg("wiki=rmat:16:8", false)
+	if err != nil || a.name != "wiki" || a.src != "rmat:16:8" || a.file {
+		t.Fatalf("named spec: %+v, %v", a, err)
+	}
+	a, err = parseGraphArg("ring:64", false)
+	if err != nil || a.name != "ring:64" || a.src != "ring:64" {
+		t.Fatalf("bare spec names itself: %+v, %v", a, err)
+	}
+	a, err = parseGraphArg("usa=/data/usa.gr", true)
+	if err != nil || a.name != "usa" || a.src != "/data/usa.gr" || !a.file {
+		t.Fatalf("named file: %+v, %v", a, err)
+	}
+	if _, err := parseGraphArg("=spec", false); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := parseGraphArg("name=", false); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{nil, "no graphs"},
+		{[]string{"-graph", "g=nosuchspec"}, "unknown graph spec"},
+		{[]string{"-graph", "g=ring:64", "-combiner", "bogus"}, "unknown combiner"},
+		{[]string{"-graph", "g=ring:64", "-addressing", "bogus"}, "unknown addressing"},
+		{[]string{"-graph", "g=ring:64", "-schedule", "bogus"}, "unknown schedule"},
+	} {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("args %v: err = %v, want mention of %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// syncBuffer lets the test read daemon output while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var servingRe = regexp.MustCompile(`ipregeld: serving on (\S+)`)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises a
+// job round trip plus a cache hit over real HTTP, then stops it via the
+// test hook (the same path a signal takes) and requires a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	var out syncBuffer
+	stop := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-graph", "g=ring:128",
+			"-checkpoint-root", "off",
+		}, &out, stop)
+	}()
+
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"graph":"g","program":"sssp","params":{"source":0,"vertices":[64]}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+		Result *struct {
+			Reached int `json:"reached"`
+		} `json:"result"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, view)
+	}
+
+	for view.State != "done" {
+		if view.State == "failed" || view.State == "cancelled" {
+			t.Fatalf("job reached %s", view.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, view.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err := json.Unmarshal(b, &view); err != nil {
+			t.Fatalf("poll decode: %v (%s)", err, b)
+		}
+	}
+	if view.Result == nil || view.Result.Reached != 128 {
+		t.Fatalf("result: %+v, want all 128 ring vertices reached", view.Result)
+	}
+
+	// Identical resubmission is a cache hit (200, already done).
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit struct {
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !hit.Cached || hit.State != "done" {
+		t.Fatalf("resubmission: %d %+v, want a cache hit", resp.StatusCode, hit)
+	}
+
+	close(stop)
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never exited:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ipregeld: bye") {
+		t.Fatalf("no clean shutdown marker:\n%s", out.String())
+	}
+}

@@ -52,6 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sink.Close()
 
 	// The fault plan, all deterministic: a compute panic a third of the
 	// way in; then — once past that point — a bit flip corrupting the

@@ -197,7 +197,7 @@ func TestFileSinkPrunesAndSkipsCorrupt(t *testing.T) {
 	r.Close()
 
 	// Corrupt the newest file; discovery must fall back.
-	path := filepath.Join(sink.dir, checkpointName(newest))
+	path := filepath.Join(sink.dir, sink.checkpointName(newest))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheKeyCanonicalisation(t *testing.T) {
+	g := testGraph(t, "ring:8")
+	// Omitted rounds and explicit default rounds canonicalise equal.
+	a, err := canonPageRank(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := canonPageRank(g, Params{Rounds: defaultRounds, Vertices: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKey("g", "pagerank", a) != cacheKey("g", "pagerank", b) {
+		t.Fatal("defaulted and explicit-default params key differently")
+	}
+	// Vertex order and duplicates do not change the key.
+	c, _ := canonPageRank(g, Params{Vertices: []uint64{3, 1, 2}})
+	d, _ := canonPageRank(g, Params{Vertices: []uint64{2, 1, 3, 1}})
+	if cacheKey("g", "pagerank", c) != cacheKey("g", "pagerank", d) {
+		t.Fatal("vertex permutation/duplication changed the key")
+	}
+	// Graph, program, and real param changes all split the key.
+	if cacheKey("g", "pagerank", a) == cacheKey("h", "pagerank", a) {
+		t.Fatal("graph name not in the key")
+	}
+	if cacheKey("g", "pagerank", a) == cacheKey("g", "pagerank-converged", a) {
+		t.Fatal("program not in the key")
+	}
+	e, _ := canonPageRank(g, Params{Rounds: 31})
+	if cacheKey("g", "pagerank", a) == cacheKey("g", "pagerank", e) {
+		t.Fatal("rounds not in the key")
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r := func(i int) *Result { return &Result{Supersteps: i} }
+	c.put("a", r(1))
+	c.put("b", r(2))
+	if _, ok := c.get("a"); !ok { // refresh a → b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r(3)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Overwrite refreshes in place.
+	c.put("a", r(9))
+	if got, _ := c.get("a"); got.Supersteps != 9 {
+		t.Fatalf("overwrite lost: %+v", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after overwrite = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", &Result{})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache non-empty")
+	}
+}
+
+func TestResultCacheManyKeys(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%d", i), &Result{Supersteps: i})
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want 8", c.len())
+	}
+	for i := 92; i < 100; i++ {
+		if got, ok := c.get(fmt.Sprintf("k%d", i)); !ok || got.Supersteps != i {
+			t.Fatalf("newest keys lost: k%d ok=%v", i, ok)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPJobLifecycle drives the whole API end to end over real HTTP:
+// graphs listing, submission, polling to completion, result payload,
+// cache-hit status code, and the telemetry mounts.
+func TestHTTPJobLifecycle(t *testing.T) {
+	s := newTestService(t, Options{}, "ring:64")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var graphs struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/graphs", &graphs); code != 200 {
+		t.Fatalf("graphs: status %d", code)
+	}
+	if len(graphs.Graphs) != 1 || graphs.Graphs[0].Name != "ring:64" || graphs.Graphs[0].Vertices != 64 {
+		t.Fatalf("graphs payload: %+v", graphs.Graphs)
+	}
+
+	resp, body := postJob(t, ts.URL, `{"graph":"ring:64","program":"sssp","params":{"source":0,"vertices":[0,1,63]}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.State != StateQueued {
+		t.Fatalf("submit view: %+v", view)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+view.ID, &view); code != 200 {
+			t.Fatalf("poll: status %d", code)
+		}
+		if view.State == StateDone || view.State == StateFailed || view.State == StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", view.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if view.State != StateDone {
+		t.Fatalf("job: %s (%s)", view.State, view.Error)
+	}
+	// On a directed 64-ring from source 0, every vertex is reached and
+	// vertex 63 is 63 hops away.
+	if view.Result.Reached != 64 {
+		t.Fatalf("reached = %d, want 64", view.Result.Reached)
+	}
+	if got := view.Result.Values[2]; got.ID != 63 || got.Value != 63 {
+		t.Fatalf("vertex 63: %+v, want distance 63", got)
+	}
+
+	// Identical resubmission: 200 + cached, not 202.
+	resp, body = postJob(t, ts.URL, `{"graph":"ring:64","program":"sssp","params":{"source":0,"vertices":[63,1,0,0]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit: status %d: %s", resp.StatusCode, body)
+	}
+	var hit JobView
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.State != StateDone || hit.Result == nil {
+		t.Fatalf("cache hit view: %+v", hit)
+	}
+
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != 200 || len(list.Jobs) != 2 {
+		t.Fatalf("job list: code=%d jobs=%d", code, len(list.Jobs))
+	}
+
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: code=%d %v", code, health)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != 200 || !strings.Contains(string(mb), "ipregel_runs_total") {
+		t.Fatalf("metrics mount broken: %d\n%s", mresp.StatusCode, mb)
+	}
+	if code := getJSON(t, ts.URL+"/debug/vars", nil); code != 200 {
+		t.Fatalf("debug/vars: status %d", code)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestService(t, Options{}, "ring:16")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"graph":"nope","program":"pagerank"}`, 400},
+		{`{"graph":"ring:16","program":"sssp"}`, 400},
+		{`{"graph":"ring:16","program":"pagerank","bogus":1}`, 400}, // unknown field
+		{`not json`, 400},
+	} {
+		resp, body := postJob(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.want, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: error body %q not JSON with error field", tc.body, body)
+		}
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/j999", nil); code != 404 {
+		t.Fatalf("unknown job: status %d, want 404", code)
+	}
+}
+
+// TestHTTPQueueFull: admission control surfaces as 429 with Retry-After.
+func TestHTTPQueueFull(t *testing.T) {
+	s := New(Options{Queue: 1}) // never started: nothing drains the queue
+	if err := s.AddGraph("g", testGraph(t, "ring:16"), ""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJob(t, ts.URL, `{"graph":"g","program":"hashmin"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJob(t, ts.URL, `{"graph":"g","program":"wcc"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestMetricsCarryJobLabels: while jobs run, the mounted /metrics
+// endpoint serves per-job labelled series from their scopes.
+func TestMetricsCarryJobLabels(t *testing.T) {
+	const spec = "rmat:10:8"
+	s := newTestService(t, Options{Workers: 2}, spec)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	view, err := s.Submit(JobRequest{Graph: spec, Program: "pagerank",
+		Params: Params{Rounds: 90000}, Limits: Limits{DeadlineMillis: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := fmt.Sprintf(`{job=%q}`, view.ID)
+	found := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !found {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		found = strings.Contains(string(b), want)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !found {
+		t.Fatalf("/metrics never showed %s while the job ran", want)
+	}
+	waitTerminal(t, s, view.ID)
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"ipregel/internal/core"
+)
+
+// TestJobScopesAttributeCountersAndGauges runs two differently-sized
+// engines through per-job scopes on one collector and checks the
+// property the shared-collector bugfix promises: global counters are
+// the exact sum over jobs, and each job's gauges reflect its own run
+// rather than whichever run wrote last.
+func TestJobScopesAttributeCountersAndGauges(t *testing.T) {
+	c := NewCollector()
+	j1, err := c.Job("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Job("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job("alpha"); err == nil {
+		t.Fatal("duplicate live job id accepted")
+	}
+	if _, err := c.Job(""); err == nil {
+		t.Fatal("empty job id accepted")
+	}
+
+	if _, _, err := core.Run(ring(8), core.Config{Observers: []core.Observer{j1}}, flood(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.Run(ring(32), core.Config{Observers: []core.Observer{j2}}, flood(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, s2, g := j1.Snapshot(), j2.Snapshot(), c.Snapshot()
+	for _, name := range []string{
+		"ipregel_runs_total", "ipregel_runs_converged_total",
+		"ipregel_supersteps_total", "ipregel_messages_total",
+		"ipregel_vertices_ran_total",
+	} {
+		if s1[name]+s2[name] != g[name] {
+			t.Fatalf("%s: jobs %d+%d != global %d", name, s1[name], s2[name], g[name])
+		}
+	}
+	if s1["ipregel_messages_total"] == 0 || s2["ipregel_messages_total"] == 0 {
+		t.Fatal("a job scope recorded no messages")
+	}
+	if s1["ipregel_messages_total"] == s2["ipregel_messages_total"] {
+		t.Fatal("test graphs too similar to prove attribution")
+	}
+	// Gauges: each job's last barrier is its own, not the global last
+	// writer's. flood halts with 0 active; the supersteps differ.
+	if s1["ipregel_current_superstep"] == s2["ipregel_current_superstep"] {
+		t.Fatalf("job gauges collapsed: both report superstep %d", s1["ipregel_current_superstep"])
+	}
+	if g["ipregel_runs_active"] != 0 {
+		t.Fatalf("runs_active = %d after both jobs ended, want 0", g["ipregel_runs_active"])
+	}
+
+	var sb strings.Builder
+	if err := c.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ipregel_runs_total{job="alpha"} 1`,
+		`ipregel_runs_total{job="beta"} 1`,
+		`ipregel_messages_total{job="alpha"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// Release removes the labelled lines but not the global totals.
+	j1.Release()
+	j1.Release() // idempotent
+	sb.Reset()
+	if err := c.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `{job="alpha"}`) {
+		t.Fatal("released job still scraped")
+	}
+	if !strings.Contains(sb.String(), `{job="beta"}`) {
+		t.Fatal("live job lost its labelled lines")
+	}
+	if got := c.Snapshot()["ipregel_runs_total"]; got != 2 {
+		t.Fatalf("global runs_total = %d after release, want 2", got)
+	}
+
+	// The freed id is reusable.
+	if _, err := c.Job("alpha"); err != nil {
+		t.Fatalf("id not reusable after Release: %v", err)
+	}
+}
+
+// TestJobScopeRecoveryAttribution: RecordRecovery on a scope counts for
+// both the job and the process totals.
+func TestJobScopeRecoveryAttribution(t *testing.T) {
+	c := NewCollector()
+	j, err := c.Job("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RecordRecovery()
+	j.RecordRecovery()
+	if got := j.Snapshot()["ipregel_recoveries_total"]; got != 2 {
+		t.Fatalf("job recoveries = %d, want 2", got)
+	}
+	if got := c.Snapshot()["ipregel_recoveries_total"]; got != 2 {
+		t.Fatalf("global recoveries = %d, want 2", got)
+	}
+}
+
+// TestJobScopeReleasedMidRunUnsticksActiveGauge: tearing a scope down
+// between its first superstep and run end must not leave runs_active
+// permanently nonzero.
+func TestJobScopeReleasedMidRunUnsticksActiveGauge(t *testing.T) {
+	c := NewCollector()
+	j, err := c.Job("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.OnSuperstepStart(0)
+	if got := c.Snapshot()["ipregel_runs_active"]; got != 1 {
+		t.Fatalf("runs_active = %d mid-run, want 1", got)
+	}
+	j.Release()
+	if got := c.Snapshot()["ipregel_runs_active"]; got != 0 {
+		t.Fatalf("runs_active = %d after mid-run release, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -15,6 +16,11 @@ import (
 type Server struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr string
+	// Drain bounds how long Close waits for in-flight handlers to finish
+	// before forcibly closing their connections (default 5s). A scrape
+	// racing shutdown therefore gets its complete body instead of a
+	// truncated one, while a stuck handler cannot hang Close forever.
+	Drain time.Duration
 
 	ln  net.Listener
 	srv *http.Server
@@ -55,5 +61,26 @@ func Serve(addr string, c *Collector) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the listener and in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops accepting connections and gracefully drains in-flight
+// handlers for up to Drain before forcing their connections closed.
+// http.Server.Close alone would tear handlers down mid-write and hand a
+// racing /metrics scraper a truncated body.
+func (s *Server) Close() error {
+	drain := s.Drain
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	// The drain deadline expired (or Shutdown failed): fall back to the
+	// hard close so Close never leaks the listener or hangs on a stuck
+	// handler.
+	if cerr := s.srv.Close(); cerr != nil {
+		return cerr
+	}
+	return err
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// slowServer binds a Server whose handler blocks until released —
+// the regression surface for Close racing an in-flight scrape.
+func slowServer(t *testing.T, drain time.Duration, handler http.HandlerFunc) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", handler)
+	srv := &http.Server{Handler: mux}
+	s := &Server{Addr: ln.Addr().String(), Drain: drain, ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s
+}
+
+// TestCloseDrainsInFlightHandlers: a handler mid-response when Close is
+// called must be allowed to finish, and the client must receive the
+// complete body. The old http.Server.Close path truncated it.
+func TestCloseDrainsInFlightHandlers(t *testing.T) {
+	inHandler := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := slowServer(t, 10*time.Second, func(w http.ResponseWriter, r *http.Request) {
+		inHandler <- struct{}{}
+		<-release
+		io.WriteString(w, "complete-body")
+	})
+
+	bodyCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/slow")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		bodyCh <- string(b)
+	}()
+
+	<-inHandler
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// Close must wait for the handler, not return while it is blocked.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a handler was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case body := <-bodyCh:
+		if body != "complete-body" {
+			t.Fatalf("racing client read %q, want the complete body", body)
+		}
+	case err := <-errCh:
+		t.Fatalf("racing client failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never completed")
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("graceful Close: %v", err)
+	}
+}
+
+// TestCloseForcesStuckHandlersAfterDrain: a handler that outlives the
+// drain deadline cannot hang Close forever — the fallback hard close
+// runs and Close reports the expired drain.
+func TestCloseForcesStuckHandlersAfterDrain(t *testing.T) {
+	inHandler := make(chan struct{}, 1)
+	stuck := make(chan struct{})
+	t.Cleanup(func() { close(stuck) })
+	s := slowServer(t, 50*time.Millisecond, func(w http.ResponseWriter, r *http.Request) {
+		inHandler <- struct{}{}
+		<-stuck
+	})
+
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Close reported a clean drain despite a stuck handler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stuck handler")
+	}
+}

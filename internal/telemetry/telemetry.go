@@ -26,6 +26,7 @@ import (
 	"io"
 	"runtime/metrics"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,15 @@ var heapSamples = []string{
 // set. One Collector can watch many runs (sequentially or concurrently —
 // all fields are atomics); counters accumulate across runs, gauges
 // reflect the most recent barrier.
+//
+// The top-level gauges are global by construction: with several
+// concurrent runs they are last-writer-wins, which is correct for "the
+// most recent barrier seen by anyone" and garbage for "this run's
+// frontier". Concurrent runs that need truthful gauges attach a
+// per-run scope from Job instead: each scope keeps its own gauges and
+// counters, attributes them under a job label at scrape time, and still
+// folds every counter into the global set, so the process totals stay
+// exact either way.
 type Collector struct {
 	// counters (monotonic across runs)
 	runs, runsConverged, runsAborted atomic.Int64
@@ -72,8 +82,16 @@ type Collector struct {
 	// running is a best-effort in-a-run flag (1 between the first
 	// superstep-start and run-end): exact for the common one-run-at-a-
 	// time CLI usage, approximate if several concurrent runs share one
-	// collector. The cumulative counters are exact either way.
+	// collector directly. Runs observed through Job scopes are counted
+	// exactly in activeRuns instead; the snapshot reports the sum.
 	running atomic.Int64
+	// activeRuns counts the Job-scoped runs currently between their first
+	// superstep and run end — exact under concurrency, unlike running.
+	activeRuns atomic.Int64
+
+	// jobs holds the live per-run scopes for labelled scrape output.
+	jobMu sync.Mutex
+	jobs  map[string]*JobCollector
 
 	sampleBuf []metrics.Sample
 	sampleMu  sync.Mutex
@@ -92,7 +110,9 @@ func (c *Collector) OnSuperstepStart(superstep int) {
 }
 
 // OnSuperstepEnd implements core.Observer: fold one superstep's
-// statistics into the counters and sample the heap.
+// statistics into the counters and sample the heap. Job scopes call it
+// on their parent too, so the global counters are always the sum over
+// every observed run.
 func (c *Collector) OnSuperstepEnd(superstep int, s core.StepStats) {
 	c.currentSuperstep.Store(int64(superstep))
 	if !s.Partial {
@@ -133,11 +153,18 @@ func (c *Collector) RecordRecovery() {
 // OnRunEnd implements core.Observer. Every run fires it exactly once,
 // so the run counters live here.
 func (c *Collector) OnRunEnd(r core.Report, err error) {
+	c.foldRunEnd(err)
+	c.running.Store(0)
+}
+
+// foldRunEnd accumulates one finished run into the counters without
+// touching the direct-use running flag — the path Job scopes share, so
+// one job ending cannot mark a collector watching other live jobs idle.
+func (c *Collector) foldRunEnd(err error) {
 	c.runs.Add(1)
 	if err == nil {
 		c.runsConverged.Add(1)
 	}
-	c.running.Store(0)
 	c.sampleHeap()
 }
 
@@ -171,7 +198,7 @@ func (c *Collector) Snapshot() map[string]int64 {
 		"ipregel_runs_converged_total":          c.runsConverged.Load(),
 		"ipregel_runs_aborted_total":            c.runsAborted.Load(),
 		"ipregel_recoveries_total":              c.recoveries.Load(),
-		"ipregel_runs_active":                   c.running.Load(),
+		"ipregel_runs_active":                   c.running.Load() + c.activeRuns.Load(),
 		"ipregel_supersteps_total":              c.supersteps.Load(),
 		"ipregel_messages_total":                int64(c.messages.Load()),
 		"ipregel_local_combines_total":          int64(c.localCombines.Load()),
@@ -196,6 +223,9 @@ func (c *Collector) Snapshot() map[string]int64 {
 
 // WriteMetrics renders the snapshot in the plain-text exposition format
 // (one "name value" line, sorted), the payload of the /metrics endpoint.
+// After the global lines it emits one `name{job="id"} value` block per
+// live Job scope (sorted by id), so concurrent runs stay individually
+// attributable instead of collapsing into last-writer-wins gauges.
 func (c *Collector) WriteMetrics(w io.Writer) error {
 	snap := c.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -208,7 +238,36 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	for _, j := range c.jobScopes() {
+		jsnap := j.Snapshot()
+		jnames := make([]string, 0, len(jsnap))
+		for name := range jsnap {
+			jnames = append(jnames, name)
+		}
+		sort.Strings(jnames)
+		label := labelEscaper.Replace(j.ID())
+		for _, name := range jnames {
+			if _, err := fmt.Fprintf(w, "%s{job=%q} %d\n", name, label, jsnap[name]); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// labelEscaper applies the exposition-format label escaping rules.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+// jobScopes returns the live Job scopes sorted by id.
+func (c *Collector) jobScopes() []*JobCollector {
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+	out := make([]*JobCollector, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
 }
 
 // publishOnce guards the process-global expvar registration:

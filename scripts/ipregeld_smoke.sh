@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of the resident query daemon (`make
+# ipregeld-smoke`, CI job `ipregeld-smoke`): boot ipregeld on an
+# ephemeral port with one resident graph, submit a PageRank and an SSSP
+# job concurrently, require both to finish with sane results, require a
+# resubmitted identical job to be served from the LRU cache without
+# re-running, check the per-job telemetry mount, and demand a clean
+# SIGTERM shutdown.
+set -eu
+
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+trap 'test -n "$DAEMON_PID" && kill "$DAEMON_PID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "$TMP/daemon.log" >&2 2>/dev/null || true
+    exit 1
+}
+
+go build -o "$TMP/" ./cmd/ipregeld
+
+"$TMP/ipregeld" -listen 127.0.0.1:0 -graph g=rmat:12:8 -workers 2 \
+    -checkpoint-root "$TMP/ckpt" >"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to announce its resolved address.
+ADDR=""
+for _ in $(seq 1 200); do
+    ADDR="$(sed -n 's/^ipregeld: serving on \(.*\)$/\1/p' "$TMP/daemon.log" 2>/dev/null | head -n1)"
+    test -n "$ADDR" && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during boot"
+    sleep 0.1
+done
+test -n "$ADDR" || fail "daemon never announced its address"
+BASE="http://$ADDR"
+
+curl -sf "$BASE/healthz" | grep -q '"status": "ok"' || fail "healthz not ok"
+curl -sf "$BASE/v1/graphs" | grep -q '"name": "g"' || fail "graph not listed"
+
+# Submit two jobs back to back so they run concurrently on the two
+# workers.
+PR_BODY='{"graph":"g","program":"pagerank","params":{"rounds":20,"top":3}}'
+curl -sf -X POST -d "$PR_BODY" "$BASE/v1/jobs" -o "$TMP/pr.json" || fail "pagerank submit"
+curl -sf -X POST -d '{"graph":"g","program":"sssp","params":{"source":1}}' \
+    "$BASE/v1/jobs" -o "$TMP/ss.json" || fail "sssp submit"
+
+job_id() { sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$1" | head -n1; }
+PR_ID="$(job_id "$TMP/pr.json")"
+SS_ID="$(job_id "$TMP/ss.json")"
+test -n "$PR_ID" || fail "no pagerank job id in $(cat "$TMP/pr.json")"
+test -n "$SS_ID" || fail "no sssp job id in $(cat "$TMP/ss.json")"
+
+# Poll both to a terminal state.
+wait_done() {
+    id="$1"
+    for _ in $(seq 1 300); do
+        curl -sf "$BASE/v1/jobs/$id" -o "$TMP/$id.json" || fail "poll $id"
+        if grep -q '"state": "done"' "$TMP/$id.json"; then
+            return 0
+        fi
+        if grep -Eq '"state": "(failed|cancelled)"' "$TMP/$id.json"; then
+            fail "job $id did not finish: $(cat "$TMP/$id.json")"
+        fi
+        sleep 0.1
+    done
+    fail "job $id never finished"
+}
+wait_done "$PR_ID"
+wait_done "$SS_ID"
+
+grep -q '"rank_sum"' "$TMP/$PR_ID.json" || fail "pagerank result missing rank_sum"
+grep -q '"top"' "$TMP/$PR_ID.json" || fail "pagerank result missing top vertices"
+grep -Eq '"reached": [1-9]' "$TMP/$SS_ID.json" || fail "sssp reached no vertices"
+
+# Per-job telemetry: the shared collector must have counted both runs.
+curl -sf "$BASE/metrics" -o "$TMP/metrics.txt" || fail "metrics scrape"
+grep -q '^ipregel_runs_total 2$' "$TMP/metrics.txt" || fail "/metrics runs_total != 2"
+grep -q '^ipregel_runs_converged_total 2$' "$TMP/metrics.txt" || fail "/metrics converged_total != 2"
+
+# An identical resubmission must be served from the result cache: HTTP
+# 200 (not 202), born done, flagged cached.
+HITCODE="$(curl -s -o "$TMP/hit.json" -w '%{http_code}' -X POST -d "$PR_BODY" "$BASE/v1/jobs")"
+test "$HITCODE" = "200" || fail "cache resubmission returned $HITCODE, want 200"
+grep -q '"cached": true' "$TMP/hit.json" || fail "resubmission not flagged cached"
+grep -q '"state": "done"' "$TMP/hit.json" || fail "cache hit not born done"
+curl -sf "$BASE/metrics" | grep -q '^ipregel_runs_total 2$' \
+    || fail "cache hit re-ran the job (runs_total moved)"
+
+# Clean SIGTERM shutdown.
+kill "$DAEMON_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    fail "daemon ignored SIGTERM"
+fi
+wait "$DAEMON_PID" 2>/dev/null || fail "daemon exited non-zero on SIGTERM"
+DAEMON_PID=""
+grep -q '^ipregeld: bye$' "$TMP/daemon.log" || fail "no clean shutdown marker"
+
+echo "ipregeld smoke: OK"
+grep '"value"' "$TMP/$PR_ID.json" | head -n 3
