@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke ipregeld-smoke chaos
+.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke ipregeld-smoke membackend-smoke chaos
 check: vet ipregel-vet build test race
 
 vet:
@@ -43,6 +43,13 @@ telemetry-smoke:
 ipregeld-smoke:
 	sh scripts/ipregeld_smoke.sh
 
+# End-to-end check of the memory-efficiency tier: IPG3 files smaller
+# than IPG1, identical SSSP results across -graph-backend
+# flat/compressed/mmap, the mem-backend footprint ordering, and
+# ipregeld serving a mapped graph.
+membackend-smoke:
+	sh scripts/membackend_smoke.sh
+
 # Fault-injection gauntlet: the kill-anywhere crash matrix (flat and
 # sharded — the CrashMatrix regex also matches TestCrashMatrixSharded)
 # under the race detector, the checkpoint Restore fuzz seeds, and a
@@ -53,13 +60,16 @@ chaos:
 	$(GO) test ./internal/core/ -run 'FuzzRestore|RestoreV2DetectsCorruption|RestoreV1StillReads|CheckpointV2Golden'
 	sh scripts/chaos_smoke.sh
 
-# Short fuzz pass over every graph parser and the checkpoint restorer;
-# `error, never panic` on arbitrary bytes. Lengthen FUZZTIME for a
-# deeper run.
+# Short fuzz pass over every graph parser, the compressed-block decoder
+# and the checkpoint restorer; `error, never panic` on arbitrary bytes.
+# Lengthen FUZZTIME for a deeper run.
 FUZZTIME ?= 10s
 fuzz:
 	for t in FuzzReadEdgeList FuzzReadKONECT FuzzReadDIMACS FuzzReadMETIS FuzzReadBinary; do \
 		$(GO) test ./internal/graphio/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+	for t in FuzzBlockDecode FuzzCompressedRoundTrip; do \
+		$(GO) test ./internal/graph/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 

@@ -33,10 +33,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		spec    = fs.String("spec", "", "graph spec (wiki | usa | twitter | friendster | rmat:s:ef | road:r:c | wroad:r:c | er:n:m | ring:n | star:n | chain:n)")
-		divisor = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
-		seed    = fs.Int64("seed", 0, "generator seed (0 = preset default)")
-		outPath = fs.String("o", "", "output path; format chosen by extension (.gr .tsv .bin, optionally .gz, else edge list)")
+		spec     = fs.String("spec", "", "graph spec (wiki | usa | twitter | friendster | rmat:s:ef | road:r:c | wroad:r:c | er:n:m | ring:n | star:n | chain:n)")
+		divisor  = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
+		seed     = fs.Int64("seed", 0, "generator seed (0 = preset default)")
+		outPath  = fs.String("o", "", "output path; format chosen by extension (.gr .tsv .bin, optionally .gz, else edge list)")
+		compress = fs.Bool("compress", false, "block-compress the adjacency before writing (with a .bin output this emits the IPG3 variant, loadable via mmap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, graph.ComputeStats(*spec, g), "generated in", time.Since(start).Round(time.Millisecond))
+	if *compress {
+		if g, err = g.Compress(); err != nil {
+			return err
+		}
+	}
 	if err := graphio.WriteFile(*outPath, g); err != nil {
 		return err
 	}

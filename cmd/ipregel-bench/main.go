@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		overlap = fs.Bool("overlap", false, "overlap cross-shard delivery with compute (with -shards > 1)")
 		steal   = fs.Bool("steal", false, "work-stealing shard scheduler (with -shards > 1)")
 		quick   = fs.Bool("quick", false, "fewer repetitions and smaller sweeps")
+		backend = fs.String("graph-backend", "flat", "adjacency storage for experiment graphs: flat | compressed | mmap")
 		rounds  = fs.Int("pagerank-rounds", 0, "PageRank iterations (default 30, as in the paper)")
 		csvDir  = fs.String("csv", "", "also write figure data series as CSV files into this directory")
 		telAddr = fs.String("telemetry", "", "serve live /metrics, expvar and /debug/pprof on this address (e.g. :8080) while experiments run")
@@ -79,7 +80,8 @@ func run(args []string, out io.Writer) error {
 	if *steal && *shards <= 1 {
 		return fmt.Errorf("-steal schedules (shard, slot-range) tasks; it needs -shards > 1")
 	}
-	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Overlap: *overlap, Steal: *steal, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers}
+	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Overlap: *overlap, Steal: *steal, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers, Backend: *backend}
+	defer o.Close()
 	switch {
 	case *all:
 		return bench.RunAll(o, out)

@@ -81,6 +81,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	})
 	var (
 		listen    = fs.String("listen", "127.0.0.1:8090", "HTTP listen address (use :0 for an ephemeral port)")
+		backend   = fs.String("graph-backend", "flat", "adjacency storage for resident graphs: flat | compressed | mmap (mmap applies to -graph-file .bin files; others fall back to compressed)")
 		divisor   = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
 		combiner  = fs.String("combiner", "spinlock", "engine combiner: mutex | spinlock | atomic | broadcast")
 		address   = fs.String("addressing", "offset", "engine addressing: direct | offset | desolate | hashmap")
@@ -157,22 +158,53 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		RecoverAttempts: *attempts,
 	})
 
+	if *backend != "flat" && *backend != "compressed" && *backend != "mmap" {
+		return fmt.Errorf("unknown graph backend %q (flat | compressed | mmap)", *backend)
+	}
+	// Mappings live as long as the resident graphs they serve: released
+	// only after the service has fully drained at shutdown.
+	var mapped []*graphio.Mapped
+	defer func() {
+		for _, m := range mapped {
+			_ = m.Close()
+		}
+	}()
 	for _, a := range graphArgs {
 		start := time.Now()
 		var g *graph.Graph
-		if a.file {
-			g, err = graphio.ReadFile(a.src, graphio.Options{BuildInEdges: pull})
+		how := ""
+		if a.file && *backend == "mmap" && strings.HasSuffix(a.src, ".bin") {
+			var m *graphio.Mapped
+			m, err = graphio.OpenMapped(a.src, graphio.Options{BuildInEdges: pull})
+			if err != nil {
+				return fmt.Errorf("graph %s: %w", a.name, err)
+			}
+			mapped = append(mapped, m)
+			g = m.Graph()
+			how = " (mapped read-only)"
 		} else {
-			g, err = gen.ByName(a.src, gen.PresetParams{Divisor: *divisor, BuildInEdges: pull})
-		}
-		if err != nil {
-			return fmt.Errorf("graph %s: %w", a.name, err)
+			if a.file {
+				g, err = graphio.ReadFile(a.src, graphio.Options{BuildInEdges: pull})
+			} else {
+				g, err = gen.ByName(a.src, gen.PresetParams{Divisor: *divisor, BuildInEdges: pull})
+			}
+			if err != nil {
+				return fmt.Errorf("graph %s: %w", a.name, err)
+			}
+			if *backend != "flat" {
+				// compressed, or the mmap fallback for sources that have no
+				// mappable binary file behind them
+				if g, err = g.Compress(); err != nil {
+					return fmt.Errorf("graph %s: %w", a.name, err)
+				}
+				how = " (compressed)"
+			}
 		}
 		if err := svc.AddGraph(a.name, g, a.src); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "ipregeld: loaded graph %s: %d vertices, %d edges in %v\n",
-			a.name, g.N(), g.M(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "ipregeld: loaded graph %s: %d vertices, %d edges in %v%s\n",
+			a.name, g.N(), g.M(), time.Since(start).Round(time.Millisecond), how)
 	}
 
 	if err := svc.Start(); err != nil {

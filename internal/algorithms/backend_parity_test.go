@@ -1,0 +1,233 @@
+package algorithms
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipregel/internal/core"
+	"ipregel/internal/gen"
+	"ipregel/internal/graph"
+	"ipregel/internal/graphio"
+)
+
+// Backend parity battery: the engine must be oblivious to how the
+// adjacency is stored. For PageRank, SSSP and WCC, every cell of
+// {flat, compressed, mmap} × {1, 4 shards} × {plain, overlap, steal}
+// must produce the same Report fingerprint (superstep counts, message
+// totals, per-step ran/messages/active/next-frontier) and the same
+// values as the flat run of the same configuration. g.Compress()
+// preserves neighbour order exactly, so even order-sensitive float
+// combining sees identical per-vertex message multisets.
+
+// backendVariant is one adjacency storage backend under test.
+type backendVariant struct {
+	name string
+	g    *graph.Graph
+}
+
+// backendVariants materialises g under every backend: the flat CSR
+// itself, its block-compressed twin, and the compressed form written as
+// an IPG3 file and mapped back with graphio.OpenMapped (pages served
+// from the file, validated eagerly). Mappings are closed via t.Cleanup.
+func backendVariants(t *testing.T, name string, g *graph.Graph) []backendVariant {
+	t.Helper()
+	cg, err := g.Compress()
+	if err != nil {
+		t.Fatalf("%s: compress: %v", name, err)
+	}
+	path := filepath.Join(t.TempDir(), name+".bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteBinary(f, cg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := graphio.OpenMapped(path, graphio.Options{BuildInEdges: g.HasInEdges()})
+	if err != nil {
+		t.Fatalf("%s: OpenMapped: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("%s: close mapping: %v", name, err)
+		}
+	})
+	return []backendVariant{
+		{"flat", g},
+		{"compressed", cg},
+		{"mmap", m.Graph()},
+	}
+}
+
+// backendParityConfigs is the engine-configuration axis of the battery.
+// All cells use the CAS combiner (push; pull parity is covered by the
+// cross-engine tests) with invariant checking on.
+func backendParityConfigs() []core.Config {
+	base := core.Config{Combiner: core.CombinerAtomic, Threads: 4, CheckInvariants: true}
+	single := base
+	sharded := base
+	sharded.Shards = 4
+	overlap := sharded
+	overlap.OverlapDelivery = true
+	steal := sharded
+	steal.WorkStealing = true
+	both := sharded
+	both.OverlapDelivery = true
+	both.WorkStealing = true
+	return []core.Config{single, sharded, overlap, steal, both}
+}
+
+func backendParityGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat": gen.RMATN(400, 2600, 11, 1, true), // power-law: hot hubs span blocks
+		"road": gen.Road(gen.RoadParams{Rows: 12, Cols: 14, Seed: 5, Base: 1, BuildInEdges: true}),
+	}
+}
+
+// cellName labels one (config, backend) cell for failure messages.
+func cellName(cfg core.Config, backend string) string {
+	s := cfg.VersionName() + "/" + backend
+	if cfg.Shards > 1 {
+		s += "/sharded"
+	}
+	return s
+}
+
+func TestBackendParitySSSP(t *testing.T) {
+	for gname, g := range backendParityGraphs() {
+		variants := backendVariants(t, gname, g)
+		for _, cfg := range backendParityConfigs() {
+			cfg.SelectionBypass = true
+			cfg.CheckBypass = true
+			var wantVals []uint32
+			var wantFP string
+			for _, v := range variants {
+				got, rep, err := SSSP(v.g, cfg, 2)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, cellName(cfg, v.name), err)
+				}
+				fp := rep.Fingerprint()
+				if v.name == "flat" {
+					wantVals, wantFP = got, fp
+					continue
+				}
+				if fp != wantFP {
+					t.Fatalf("%s/%s: report fingerprint diverged from flat:\ngot:\n%s\nwant:\n%s",
+						gname, cellName(cfg, v.name), fp, wantFP)
+				}
+				for i := range wantVals {
+					if got[i] != wantVals[i] { // min combine: exact
+						t.Fatalf("%s/%s: dist[%d] = %d, flat %d", gname, cellName(cfg, v.name), i, got[i], wantVals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBackendParityWCC(t *testing.T) {
+	for gname, g := range backendParityGraphs() {
+		variants := backendVariants(t, gname, g)
+		oracle := RefWCC(g.Symmetrize(false))
+		for _, cfg := range backendParityConfigs() {
+			var wantVals []uint32
+			var wantFP string
+			for _, v := range variants {
+				got, rep, err := WCC(v.g, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, cellName(cfg, v.name), err)
+				}
+				fp := rep.Fingerprint()
+				if v.name == "flat" {
+					wantVals, wantFP = got, fp
+					for i := range got {
+						if got[i] != oracle[i] {
+							t.Fatalf("%s/%s: label[%d] = %d, union-find oracle %d", gname, cellName(cfg, v.name), i, got[i], oracle[i])
+						}
+					}
+					continue
+				}
+				if fp != wantFP {
+					t.Fatalf("%s/%s: report fingerprint diverged from flat:\ngot:\n%s\nwant:\n%s",
+						gname, cellName(cfg, v.name), fp, wantFP)
+				}
+				for i := range wantVals {
+					if got[i] != wantVals[i] {
+						t.Fatalf("%s/%s: label[%d] = %d, flat %d", gname, cellName(cfg, v.name), i, got[i], wantVals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBackendParityPageRank(t *testing.T) {
+	for gname, g := range backendParityGraphs() {
+		variants := backendVariants(t, gname, g)
+		for _, cfg := range backendParityConfigs() {
+			var wantVals []float64
+			var wantFP string
+			for _, v := range variants {
+				got, rep, err := PageRank(v.g, cfg, 15)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, cellName(cfg, v.name), err)
+				}
+				fp := rep.Fingerprint()
+				if v.name == "flat" {
+					wantVals, wantFP = got, fp
+					continue
+				}
+				if fp != wantFP {
+					t.Fatalf("%s/%s: report fingerprint diverged from flat:\ngot:\n%s\nwant:\n%s",
+						gname, cellName(cfg, v.name), fp, wantFP)
+				}
+				for i := range wantVals {
+					// same neighbour order on every backend, but multi-thread
+					// delivery order still varies run to run: rounding slack
+					if math.Abs(got[i]-wantVals[i]) > 1e-9*(1+math.Abs(wantVals[i])) {
+						t.Fatalf("%s/%s: rank[%d] = %v, flat %v", gname, cellName(cfg, v.name), i, got[i], wantVals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendParityPull exercises the pull combiner on the compressed and
+// mapped backends: the collect phase walks in-neighbours through the
+// per-worker decode buffers, and on the mmap backend the in-CSR is the
+// heap-side compressed reverse built by OpenMapped's BuildInEdges while
+// the out-CSR stays on the mapping.
+func TestBackendParityPull(t *testing.T) {
+	for gname, g := range backendParityGraphs() {
+		variants := backendVariants(t, gname, g)
+		cfg := core.Config{Combiner: core.CombinerPull, Threads: 4, CheckInvariants: true}
+		var wantVals []uint32
+		var wantFP string
+		for _, v := range variants {
+			got, rep, err := SSSP(v.g, cfg, 2)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cellName(cfg, v.name), err)
+			}
+			fp := rep.Fingerprint()
+			if v.name == "flat" {
+				wantVals, wantFP = got, fp
+				continue
+			}
+			if fp != wantFP {
+				t.Fatalf("%s/%s: report fingerprint diverged from flat:\ngot:\n%s\nwant:\n%s",
+					gname, cellName(cfg, v.name), fp, wantFP)
+			}
+			for i := range wantVals {
+				if got[i] != wantVals[i] {
+					t.Fatalf("%s/%s: dist[%d] = %d, flat %d", gname, cellName(cfg, v.name), i, got[i], wantVals[i])
+				}
+			}
+		}
+	}
+}

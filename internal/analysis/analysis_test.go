@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,43 @@ func TestLoaderLoadsCore(t *testing.T) {
 	}
 	if got := targets[0].PkgPath; got != CorePath {
 		t.Fatalf("primary package path = %q, want %q", got, CorePath)
+	}
+}
+
+// TestLoaderHonorsBuildConstraints loads a package with a //go:build
+// platform seam (graphio's mmap_unix.go / mmap_stub.go pair): exactly
+// one side may type-check in, or every seamed declaration appears
+// redeclared.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(loader.ModuleRoot, "internal", "graphio"), ""); err != nil {
+		t.Fatalf("load internal/graphio: %v", err)
+	}
+}
+
+// TestBuildTagSatisfied pins the host tag set the loader evaluates
+// //go:build expressions against.
+func TestBuildTagSatisfied(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want bool
+	}{
+		{runtime.GOOS, true},
+		{runtime.GOARCH, true},
+		{"gc", true},
+		{"go1.22", true},
+		{"plan9", runtime.GOOS == "plan9"},
+		{"purego", false},
+	}
+	for _, c := range cases {
+		if got := buildTagSatisfied(c.tag); got != c.want {
+			t.Errorf("buildTagSatisfied(%q) = %v, want %v", c.tag, got, c.want)
+		}
+	}
+	if runtime.GOOS == "linux" && !buildTagSatisfied("unix") {
+		t.Error(`buildTagSatisfied("unix") = false on linux`)
 	}
 }

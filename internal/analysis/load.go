@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -297,9 +299,55 @@ func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File,
 		if err != nil {
 			return nil, err
 		}
+		if !fileIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// fileIncluded reports whether f's //go:build constraint (if any) is
+// satisfied on the host platform. Platform-seamed packages keep one
+// implementation file per GOOS family (e.g. graphio's mmap_unix.go /
+// mmap_stub.go pair); without this filter both sides would type-check
+// into the same package and every declaration would appear redeclared.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied mirrors the go tool's default tag set closely
+// enough for a module that seams only on GOOS families: the host
+// GOOS/GOARCH, the "unix" umbrella, the gc toolchain, and every
+// released go1.N language tag (this binary was built by the same
+// toolchain that would build the target).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "hurd",
+			"illumos", "ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // check type-checks files as package path, resolving imports through the

@@ -11,6 +11,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"ipregel/internal/core"
 	"ipregel/internal/gen"
 	"ipregel/internal/graph"
+	"ipregel/internal/graphio"
 	"ipregel/internal/pregelplus"
 	"ipregel/internal/stats"
 )
@@ -60,8 +63,17 @@ type Options struct {
 	// telemetry.Collector through here), so long sweeps expose the same
 	// /metrics view as single ipregel-run invocations.
 	Observers []core.Observer
+	// Backend selects the adjacency storage every experiment graph uses:
+	// "" or "flat" is the classic CSR, "compressed" re-encodes it into
+	// delta+varint blocks (graph.Compress), and "mmap" writes the
+	// compressed form to a temporary IPG3 file and maps it read-only
+	// (graphio.OpenMapped). Call Close when done with an Options whose
+	// Backend is "mmap" to release the mappings.
+	Backend string
 
-	cache map[string]*graph.Graph
+	cache   map[string]*graph.Graph
+	mapped  []*graphio.Mapped
+	tmpDirs []string
 }
 
 func (o *Options) withDefaults() *Options {
@@ -98,7 +110,8 @@ func (o *Options) withDefaults() *Options {
 }
 
 // Graph returns (and caches) a paper-graph stand-in at the configured
-// scale, always with in-edges so every engine version can run.
+// scale, always with in-edges so every engine version can run, stored
+// under the configured Backend.
 func (o *Options) Graph(name string) (*graph.Graph, error) {
 	if g, ok := o.cache[name]; ok {
 		return g, nil
@@ -107,8 +120,68 @@ func (o *Options) Graph(name string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch o.Backend {
+	case "", "flat":
+	case "compressed":
+		if g, err = g.Compress(); err != nil {
+			return nil, err
+		}
+	case "mmap":
+		cg, err := g.Compress()
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "ipregel-bench-mmap-")
+		if err != nil {
+			return nil, err
+		}
+		o.tmpDirs = append(o.tmpDirs, dir)
+		path := filepath.Join(dir, name+".bin")
+		if err := writeGraphFile(path, cg); err != nil {
+			return nil, err
+		}
+		m, err := graphio.OpenMapped(path, graphio.Options{BuildInEdges: true})
+		if err != nil {
+			return nil, err
+		}
+		o.mapped = append(o.mapped, m)
+		g = m.Graph()
+	default:
+		return nil, fmt.Errorf("bench: unknown graph backend %q (flat, compressed, mmap)", o.Backend)
+	}
 	o.cache[name] = g
 	return g, nil
+}
+
+func writeGraphFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graphio.WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close releases the memory mappings and temporary files the "mmap"
+// backend created. Safe on any Options, any number of times.
+func (o *Options) Close() error {
+	var first error
+	for _, m := range o.mapped {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	o.mapped = nil
+	for _, d := range o.tmpDirs {
+		if err := os.RemoveAll(d); err != nil && first == nil {
+			first = err
+		}
+	}
+	o.tmpDirs = nil
+	return first
 }
 
 func (o *Options) engineConfig(cfg core.Config) core.Config {

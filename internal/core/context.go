@@ -38,13 +38,14 @@ func (v Vertex[V, M]) OutDegree() int { return v.e.g.OutDegree(int(v.slot) - v.e
 func (v Vertex[V, M]) InDegree() int { return v.e.g.InDegree(int(v.slot) - v.e.shift) }
 
 // OutNeighborIDs calls fn with the external identifier of every
-// out-neighbour.
+// out-neighbour. It goes through the backend-agnostic iterator path so
+// it works on flat and compressed graphs alike.
 func (v Vertex[V, M]) OutNeighborIDs(fn func(graph.VertexID)) {
 	e := v.e
 	base := e.g.Base()
-	for _, nb := range e.g.OutNeighbors(int(v.slot) - e.shift) {
+	e.g.ForEachOutNeighbor(int(v.slot)-e.shift, func(nb graph.VertexID) {
 		fn(base + nb)
-	}
+	})
 }
 
 // OutEdgesWeighted calls fn with each out-neighbour's external identifier
@@ -54,10 +55,9 @@ func (v Vertex[V, M]) OutNeighborIDs(fn func(graph.VertexID)) {
 func (v Vertex[V, M]) OutEdgesWeighted(fn func(graph.VertexID, uint32)) {
 	e := v.e
 	base := e.g.Base()
-	adj, ws := e.g.OutEdgesWeighted(int(v.slot) - e.shift)
-	for j, nb := range adj {
-		fn(base+nb, ws[j])
-	}
+	e.g.ForEachOutEdgeWeighted(int(v.slot)-e.shift, func(nb graph.VertexID, w uint32) {
+		fn(base+nb, w)
+	})
 }
 
 // Context carries the framework calls of paper Fig. 3 plus this worker's
@@ -97,6 +97,12 @@ type Context[V, M any] struct {
 	stolen    int64
 	activated []int64
 	halted    []int64
+
+	// nbuf is this worker's decode buffer for the compressed graph
+	// backend: the scatter loop and the pull collect phase decode
+	// neighbour lists into it instead of sharing a CSR slice. On the
+	// flat backend it is never touched (the shared-slice fast path).
+	nbuf graph.NeighborBuf
 }
 
 // Superstep returns the current superstep number, starting at 0
@@ -172,14 +178,14 @@ func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
 			// The sender knows every out-neighbour will receive a message,
 			// so it enrols them all for the next superstep (§4 applied to
 			// the broadcast version).
-			for _, nb := range e.g.OutNeighbors(idx) {
+			for _, nb := range e.g.OutNeighborsWith(&c.nbuf, idx) {
 				c.enroll(int(nb) + e.shift)
 			}
 		}
 		return
 	}
 	base := e.g.Base()
-	for _, nb := range e.g.OutNeighbors(idx) {
+	for _, nb := range e.g.OutNeighborsWith(&c.nbuf, idx) {
 		// Route through the addressing module like any identifier-addressed
 		// message (§5): for direct/offset/desolate mapping this folds into
 		// pure arithmetic, for the hashmap baseline it is a real lookup.

@@ -560,13 +560,13 @@ func (e *Engine[V, M]) collectPhase() {
 		// Only enrolled recipients can have mail, so fetching is limited
 		// to the next frontier (already gathered by the caller).
 		next := e.frontierNext
-		e.parallelFor(len(next), func(_, i int) {
-			e.mb.collectInto(int(next[i]))
+		e.parallelFor(len(next), func(w, i int) {
+			e.mb.collectInto(int(next[i]), &e.workers[w].nbuf)
 		})
 		return
 	}
-	e.parallelFor(e.g.N(), func(_, i int) {
-		e.mb.collectInto(i + e.shift)
+	e.parallelFor(e.g.N(), func(w, i int) {
+		e.mb.collectInto(i+e.shift, &e.workers[w].nbuf)
 	})
 }
 

@@ -33,7 +33,9 @@ type mailbox[M any] interface {
 	// collectInto fetches and combines the outboxes of slot's
 	// in-neighbours into slot's next inbox (pull only). Only the owner of
 	// slot may call it, which is what makes the pull design race-free.
-	collectInto(slot int)
+	// nb is the calling worker's decode buffer for the compressed graph
+	// backend (unused on flat graphs).
+	collectInto(slot int, nb *graph.NeighborBuf)
 	// take moves the current message for slot into *m, reporting whether
 	// one existed. A second call in the same superstep returns false,
 	// matching IP_get_next_message's drain loop over the single-message
@@ -192,7 +194,9 @@ func (mb *mutexMailbox[M]) deliver(dst int, msg M) {
 func (mb *mutexMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
-func (mb *mutexMailbox[M]) collectInto(int)     { panic("core: collect phase used with a push combiner") }
+func (mb *mutexMailbox[M]) collectInto(int, *graph.NeighborBuf) {
+	panic("core: collect phase used with a push combiner")
+}
 func (mb *mutexMailbox[M]) clearOutboxes()      {}
 func (mb *mutexMailbox[M]) usesPull() bool      { return false }
 func (mb *mutexMailbox[M]) auditBarrier() error { return nil }
@@ -224,7 +228,9 @@ func (mb *spinMailbox[M]) deliver(dst int, msg M) {
 func (mb *spinMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
-func (mb *spinMailbox[M]) collectInto(int)     { panic("core: collect phase used with a push combiner") }
+func (mb *spinMailbox[M]) collectInto(int, *graph.NeighborBuf) {
+	panic("core: collect phase used with a push combiner")
+}
 func (mb *spinMailbox[M]) clearOutboxes()      {}
 func (mb *spinMailbox[M]) usesPull() bool      { return false }
 func (mb *spinMailbox[M]) auditBarrier() error { return nil }
@@ -264,9 +270,9 @@ func (mb *pullMailbox[M]) setOutbox(src int, msg M) {
 	mb.outFlag[src] = 1
 }
 
-func (mb *pullMailbox[M]) collectInto(slot int) {
+func (mb *pullMailbox[M]) collectInto(slot int, buf *graph.NeighborBuf) {
 	idx := slot - mb.shift
-	for _, nb := range mb.g.InNeighbors(idx) {
+	for _, nb := range mb.g.InNeighborsWith(buf, idx) {
 		nbSlot := int(nb) + mb.shift
 		if mb.outFlag[nbSlot] != 0 {
 			mb.depositLocked(slot, mb.outbox[nbSlot]) // owner-only write: no lock needed

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"unsafe"
+
+	"ipregel/internal/graph"
 )
 
 // atomicMailbox is the lock-free push combiner the follow-up iPregel work
@@ -188,9 +190,11 @@ func (mb *atomicMailbox[M]) swap() {
 func (mb *atomicMailbox[M]) setOutbox(int, M) {
 	panic("core: broadcast outbox used with a push combiner")
 }
-func (mb *atomicMailbox[M]) collectInto(int) { panic("core: collect phase used with a push combiner") }
-func (mb *atomicMailbox[M]) clearOutboxes()  {}
-func (mb *atomicMailbox[M]) usesPull() bool  { return false }
+func (mb *atomicMailbox[M]) collectInto(int, *graph.NeighborBuf) {
+	panic("core: collect phase used with a push combiner")
+}
+func (mb *atomicMailbox[M]) clearOutboxes() {}
+func (mb *atomicMailbox[M]) usesPull() bool { return false }
 
 func (mb *atomicMailbox[M]) countCombine() {
 	if mb.check {

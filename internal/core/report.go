@@ -215,6 +215,27 @@ func (r Report) LoadImbalance() float64 {
 	return sum / float64(n)
 }
 
+// Fingerprint renders the deterministic skeleton of the run as one
+// comparable string: superstep counts, message totals and the
+// per-superstep ran/messages/active/next-frontier series. Two runs of the
+// same program on the same graph must produce equal fingerprints
+// regardless of thread count, combiner, sharding, scheduling mode or
+// graph backend (flat, compressed, mmap) — this is what the backend
+// parity battery asserts. Timing- and contention-dependent fields
+// (Duration, CASRetries, StolenTasks, EarlyDeliveredBatches,
+// LocalCombines, WorkerBusy, SkippedShards, Attempts/Recoveries) are
+// deliberately excluded: they legitimately vary between equivalent runs.
+func (r Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "first=%d supersteps=%d msgs=%d converged=%v aborted=%v\n",
+		r.FirstSuperstep, r.Supersteps, r.TotalMessages, r.Converged, r.Aborted)
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "step %d: ran=%d msgs=%d active=%d next=%d partial=%v\n",
+			r.FirstSuperstep+i, s.Ran, s.Messages, s.Active, s.NextFrontier, s.Partial)
+	}
+	return b.String()
+}
+
 // Table renders the per-superstep statistics for debugging. Superstep
 // numbers are absolute (FirstSuperstep + row index), a trailing partial
 // record is marked, and an aborted run carries a final line naming the

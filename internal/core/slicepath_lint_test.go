@@ -1,0 +1,65 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoSharedSliceAdjacencyCalls enforces the compressed-backend contract
+// at the source level: the engine must never touch the shared-slice
+// adjacency accessors (OutNeighbors, InNeighbors, OutEdgesWeighted), which
+// panic with graph.ErrCompressedAdjacency on a compressed graph. Every hot
+// loop goes through the iterator path (ForEachOutNeighbor, OutNeighborsWith,
+// InNeighborsWith, ForEachOutEdgeWeighted) with a per-worker decode buffer,
+// so a graph backend swap can never surface as a runtime panic from deep
+// inside a superstep. The check is syntactic (any selector with one of the
+// banned names), which is deliberately stricter than a type-resolved lint:
+// nothing else in this package has methods by those names, and a false
+// positive is a cheap rename.
+func TestNoSharedSliceAdjacencyCalls(t *testing.T) {
+	banned := map[string]bool{
+		"OutNeighbors":     true,
+		"InNeighbors":      true,
+		"OutEdgesWeighted": true,
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		checked++
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			t.Errorf("%s:%d: call to shared-slice accessor %s — use the iterator path (%sWith / ForEach%s) so the compressed backend works",
+				filepath.Base(pos.Filename), pos.Line, sel.Sel.Name, sel.Sel.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	if checked == 0 {
+		t.Fatal("no non-test Go sources found in internal/core")
+	}
+}

@@ -26,6 +26,7 @@ type Builder struct {
 	buildInEdges bool
 	dedup        bool
 	sortAdj      bool
+	compress     bool
 }
 
 // SetBase fixes the external base identifier instead of discovering the
@@ -45,6 +46,13 @@ func (b *Builder) Dedup() *Builder { b.dedup = true; b.sortAdj = true; return b 
 
 // SortAdjacency makes Build sort each adjacency list ascending.
 func (b *Builder) SortAdjacency() *Builder { b.sortAdj = true; return b }
+
+// Compress makes Build return the block-compressed adjacency backend
+// (compressed.go). It implies SortAdjacency: sorted neighbour runs make
+// the varint deltas small, which is where the compression ratio comes
+// from. Use (*Graph).Compress directly to compress an existing graph
+// without reordering its neighbour lists.
+func (b *Builder) Compress() *Builder { b.compress = true; b.sortAdj = true; return b }
 
 // AddEdge records a directed edge between two external identifiers.
 func (b *Builder) AddEdge(src, dst VertexID) {
@@ -144,6 +152,9 @@ func (b *Builder) Build() (*Graph, error) {
 		if b.sortAdj || b.dedup {
 			sortAdjacency(g.inOff, g.inAdj)
 		}
+	}
+	if b.compress {
+		return g.Compress()
 	}
 	return g, nil
 }

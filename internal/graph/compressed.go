@@ -1,0 +1,539 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Compressed adjacency: the memory-efficiency tier of the follow-up
+// paper ("programmability vs memory efficiency and performance"). The
+// neighbour lists are stored as zigzag-varint deltas in fixed blocks of
+// CompressedBlockSize vertices: per-vertex degrees stay uncompressed (an
+// O(1) OutDegree, which PageRank's rank division needs on the hot path),
+// and each block records the byte offset and edge prefix of its first
+// vertex, so random access decodes at most one block's worth of varints.
+//
+// The encoding is order-preserving: deltas are signed (zigzag), so
+// compressing an existing flat CSR reproduces the exact neighbour order
+// on decode. That is what makes compressed execution bit-identical to
+// flat execution even for order-sensitive floating-point combining —
+// the parity battery in internal/algorithms depends on it. Sorted
+// adjacency (Builder.SortAdjacency) makes the deltas small and the
+// ratio good, but is not required for correctness.
+//
+// A compressed Graph cannot hand out shared []VertexID slices, so the
+// slice accessors (OutNeighbors, InNeighbors, OutEdgesWeighted) panic
+// with ErrCompressedAdjacency. Callers use the iterator path instead:
+// ForEachOutNeighbor / ForEachInNeighbor stream without allocating, and
+// OutNeighborsWith / InNeighborsWith decode into a caller-owned
+// NeighborBuf (one per worker in internal/core). On a flat graph the
+// *With accessors return the shared CSR slice unchanged — zero copies,
+// zero behaviour change for the default backend.
+
+// CompressedBlockSize is the number of vertices per compression block.
+// 64 keeps the block tables at ~0.25 bytes/vertex while bounding a
+// random access to one cache-resident varint run.
+const CompressedBlockSize = 64
+
+// ErrCompressedAdjacency is panicked on by the shared-slice accessors
+// (OutNeighbors, InNeighbors, OutEdgesWeighted) and by the flat-only
+// mutators (Transpose, Relabel, StripOutAdjacency) when the graph uses
+// the compressed backend. Use the iterator accessors, or Decompress
+// first.
+var ErrCompressedAdjacency = errors.New("graph: adjacency is block-compressed; use the iterator accessors (ForEachOutNeighbor, OutNeighborsWith) or Decompress")
+
+// errCorruptBlock guards the hot decode path. It cannot fire on a graph
+// built by Compress or admitted by NewCompressedOut, both of which
+// validate every block; it exists so a memory-corruption bug fails
+// loudly instead of reading out of bounds.
+var errCorruptBlock = errors.New("graph: corrupt compressed adjacency block")
+
+// compressedAdj is one direction's block-compressed adjacency.
+type compressedAdj struct {
+	n int
+	m uint64
+	// deg[i] is vertex i's degree (uncompressed, O(1) degree queries).
+	deg []uint32
+	// blockOff[b] is the byte offset in data of block b's first varint;
+	// blockOff[nBlocks] == len(data). Blocks are contiguous.
+	blockOff []uint64
+	// blockEdge[b] is the edge-count prefix sum at block b's first
+	// vertex; blockEdge[nBlocks] == m.
+	blockEdge []uint64
+	// data is the varint stream: one zigzag-encoded delta per edge,
+	// per-vertex (the delta base resets to 0 at each vertex).
+	data []byte
+}
+
+// zigzag maps a signed delta to an unsigned varint payload so small
+// negative deltas stay short.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends x in LEB128 form.
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// uvarint decodes the LEB128 value at pos. The fast path for validated
+// data: it relies on Go's bounds checks for safety but performs no
+// format checks of its own (the validating twin is readUvarint).
+func uvarint(b []byte, pos uint64) (uint64, uint64) {
+	var x uint64
+	var s uint
+	for {
+		c := b[pos]
+		pos++
+		if c < 0x80 {
+			return x | uint64(c)<<s, pos
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+}
+
+// readUvarint is the hostile-input decoder: it errors on truncation and
+// on varints longer than the 10 bytes a uint64 can need, instead of
+// panicking or looping.
+func readUvarint(b []byte, pos uint64) (uint64, uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < 10; i++ {
+		if pos >= uint64(len(b)) {
+			return 0, 0, errors.New("graph: truncated varint")
+		}
+		c := b[pos]
+		pos++
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0, errors.New("graph: varint overflows uint64")
+			}
+			return x | uint64(c)<<s, pos, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0, errors.New("graph: varint longer than 10 bytes")
+}
+
+// compressCSR encodes a flat CSR into blocks, preserving neighbour
+// order exactly.
+func compressCSR(n int, off []uint64, adj []VertexID) *compressedAdj {
+	if len(off) == 0 {
+		// Zero-value empty graph: nil offsets stand for n == 0.
+		off = []uint64{0}
+	}
+	nb := (n + CompressedBlockSize - 1) / CompressedBlockSize
+	c := &compressedAdj{
+		n:         n,
+		m:         off[n],
+		deg:       make([]uint32, n),
+		blockOff:  make([]uint64, nb+1),
+		blockEdge: make([]uint64, nb+1),
+	}
+	buf := make([]byte, 0, off[n]+off[n]/2+16)
+	for b := 0; b < nb; b++ {
+		c.blockOff[b] = uint64(len(buf))
+		c.blockEdge[b] = off[b*CompressedBlockSize]
+		end := (b + 1) * CompressedBlockSize
+		if end > n {
+			end = n
+		}
+		for i := b * CompressedBlockSize; i < end; i++ {
+			c.deg[i] = uint32(off[i+1] - off[i])
+			prev := int64(0)
+			for _, v := range adj[off[i]:off[i+1]] {
+				buf = appendUvarint(buf, zigzag(int64(v)-prev))
+				prev = int64(v)
+			}
+		}
+	}
+	c.blockOff[nb] = uint64(len(buf))
+	c.blockEdge[nb] = off[n]
+	// Copy to exact size: the estimate above can overshoot and the
+	// whole point of this backend is the footprint.
+	c.data = make([]byte, len(buf))
+	copy(c.data, buf)
+	return c
+}
+
+// newCompressedAdj admits externally supplied block arrays (the IPG3
+// reader, the mmap loader) after full validation: shape, monotone
+// offsets, degree/edge-prefix consistency, and a complete decode sweep
+// proving every varint is well-formed, every neighbour is in range, and
+// every block consumes exactly its byte span. It never panics on
+// hostile input.
+func newCompressedAdj(n int, deg []uint32, blockOff, blockEdge []uint64, data []byte) (*compressedAdj, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	nb := (n + CompressedBlockSize - 1) / CompressedBlockSize
+	if len(deg) != n {
+		return nil, fmt.Errorf("graph: degree array length %d, want %d", len(deg), n)
+	}
+	if len(blockOff) != nb+1 || len(blockEdge) != nb+1 {
+		return nil, fmt.Errorf("graph: block table length %d/%d, want %d", len(blockOff), len(blockEdge), nb+1)
+	}
+	c := &compressedAdj{n: n, m: blockEdge[nb], deg: deg, blockOff: blockOff, blockEdge: blockEdge, data: data}
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// check verifies all structural invariants including a full decode
+// sweep. Graph.Validate calls it; newCompressedAdj relies on it.
+func (c *compressedAdj) check() error {
+	nb := len(c.blockOff) - 1
+	if c.blockOff[0] != 0 {
+		return fmt.Errorf("graph: blockOff[0] = %d, want 0", c.blockOff[0])
+	}
+	if c.blockEdge[0] != 0 {
+		return fmt.Errorf("graph: blockEdge[0] = %d, want 0", c.blockEdge[0])
+	}
+	if c.blockOff[nb] != uint64(len(c.data)) {
+		return fmt.Errorf("graph: blockOff[last] = %d, want data length %d", c.blockOff[nb], len(c.data))
+	}
+	if c.blockEdge[nb] != c.m {
+		return fmt.Errorf("graph: blockEdge[last] = %d, want m=%d", c.blockEdge[nb], c.m)
+	}
+	for b := 0; b < nb; b++ {
+		if c.blockOff[b+1] < c.blockOff[b] {
+			return fmt.Errorf("graph: block byte offsets not monotone at %d", b)
+		}
+		if c.blockEdge[b+1] < c.blockEdge[b] {
+			return fmt.Errorf("graph: block edge prefixes not monotone at %d", b)
+		}
+		// Degrees must reproduce the edge prefix.
+		end := (b + 1) * CompressedBlockSize
+		if end > c.n {
+			end = c.n
+		}
+		var sum uint64
+		for i := b * CompressedBlockSize; i < end; i++ {
+			sum += uint64(c.deg[i])
+		}
+		if got := c.blockEdge[b+1] - c.blockEdge[b]; got != sum {
+			return fmt.Errorf("graph: block %d edge prefix %d != degree sum %d", b, got, sum)
+		}
+		// Decode sweep: every varint well-formed, every neighbour in
+		// range, and the block consumes exactly its byte span.
+		pos := c.blockOff[b]
+		for i := b * CompressedBlockSize; i < end; i++ {
+			prev := int64(0)
+			for k := c.deg[i]; k > 0; k-- {
+				u, np, err := readUvarint(c.data[:c.blockOff[b+1]], pos)
+				if err != nil {
+					return fmt.Errorf("graph: block %d vertex %d: %w", b, i, err)
+				}
+				pos = np
+				prev += unzigzag(u)
+				if prev < 0 || prev >= int64(c.n) {
+					return fmt.Errorf("graph: block %d vertex %d: neighbour %d out of range (n=%d)", b, i, prev, c.n)
+				}
+			}
+		}
+		if pos != c.blockOff[b+1] {
+			return fmt.Errorf("graph: block %d decoded %d bytes, span is %d", b, pos-c.blockOff[b], c.blockOff[b+1]-c.blockOff[b])
+		}
+	}
+	return nil
+}
+
+// edgeOffset is OutEdgeOffset for the compressed layout: the block's
+// edge prefix plus at most one block of degree additions — O(block),
+// cheap enough for the edge-balanced scheduler's binary search.
+func (c *compressedAdj) edgeOffset(i int) uint64 {
+	if i >= c.n {
+		return c.m
+	}
+	b := i / CompressedBlockSize
+	e := c.blockEdge[b]
+	for j := b * CompressedBlockSize; j < i; j++ {
+		e += uint64(c.deg[j])
+	}
+	return e
+}
+
+// vertexPos skips to vertex i's first varint within its block.
+func (c *compressedAdj) vertexPos(i int) uint64 {
+	b := i / CompressedBlockSize
+	pos := c.blockOff[b]
+	data := c.data
+	for j := b * CompressedBlockSize; j < i; j++ {
+		for k := c.deg[j]; k > 0; k-- {
+			for data[pos]&0x80 != 0 {
+				pos++
+			}
+			pos++
+		}
+	}
+	return pos
+}
+
+// appendNeighbors decodes vertex i's neighbour list onto dst.
+func (c *compressedAdj) appendNeighbors(i int, dst []VertexID) []VertexID {
+	pos := c.vertexPos(i)
+	prev := int64(0)
+	for k := c.deg[i]; k > 0; k-- {
+		u, np := uvarint(c.data, pos)
+		pos = np
+		prev += unzigzag(u)
+		if prev < 0 || prev >= int64(c.n) {
+			panic(errCorruptBlock)
+		}
+		dst = append(dst, VertexID(prev))
+	}
+	return dst
+}
+
+// visit streams vertex i's neighbours without a buffer.
+func (c *compressedAdj) visit(i int, fn func(VertexID)) {
+	pos := c.vertexPos(i)
+	prev := int64(0)
+	for k := c.deg[i]; k > 0; k-- {
+		u, np := uvarint(c.data, pos)
+		pos = np
+		prev += unzigzag(u)
+		if prev < 0 || prev >= int64(c.n) {
+			panic(errCorruptBlock)
+		}
+		fn(VertexID(prev))
+	}
+}
+
+// scan walks the whole stream in vertex order (blocks are contiguous,
+// so one linear pass covers everything). Stops early if fn returns
+// false.
+func (c *compressedAdj) scan(fn func(u int, v VertexID) bool) {
+	var pos uint64
+	data := c.data
+	for i := 0; i < c.n; i++ {
+		prev := int64(0)
+		for k := c.deg[i]; k > 0; k-- {
+			u, np := uvarint(data, pos)
+			pos = np
+			prev += unzigzag(u)
+			if prev < 0 || prev >= int64(c.n) {
+				panic(errCorruptBlock)
+			}
+			if !fn(i, VertexID(prev)) {
+				return
+			}
+		}
+	}
+}
+
+// memoryBytes is the heap (or mapped) footprint of this direction.
+func (c *compressedAdj) memoryBytes() uint64 {
+	return uint64(len(c.deg))*4 + uint64(len(c.blockOff))*8 + uint64(len(c.blockEdge))*8 + uint64(len(c.data))
+}
+
+// IsCompressed reports whether the graph uses the block-compressed
+// adjacency backend (in either direction).
+func (g *Graph) IsCompressed() bool { return g.outC != nil || g.inC != nil }
+
+// Compress returns a graph storing the same adjacency (both directions,
+// when in-edges are present) in block-compressed form, preserving
+// neighbour order exactly. Weights stay flat (a parallel per-edge
+// array, addressed via OutEdgeOffset). The receiver is unchanged; a
+// compressed receiver is returned as-is. It fails on a graph reduced by
+// StripOutAdjacency, whose neighbour lists no longer exist.
+func (g *Graph) Compress() (*Graph, error) {
+	if g.outC != nil {
+		return g, nil
+	}
+	if g.outAdj == nil && g.M() > 0 {
+		return nil, ErrNoOutAdjacency
+	}
+	ng := &Graph{n: g.n, base: g.base, outC: compressCSR(g.n, g.outOff, g.outAdj), outW: g.outW}
+	if g.inOff != nil {
+		ng.inC = compressCSR(g.n, g.inOff, g.inAdj)
+	}
+	return ng, nil
+}
+
+// Decompress returns a flat-CSR graph with the same adjacency (both
+// directions), neighbour order preserved. A flat receiver is returned
+// as-is.
+func (g *Graph) Decompress() *Graph {
+	if g.outC == nil {
+		return g
+	}
+	outOff, outAdj := decompressAdj(g.outC)
+	ng := &Graph{n: g.n, base: g.base, outOff: outOff, outAdj: outAdj, outW: g.outW}
+	if g.inC != nil {
+		ng.inOff, ng.inAdj = decompressAdj(g.inC)
+	}
+	return ng
+}
+
+func decompressAdj(c *compressedAdj) ([]uint64, []VertexID) {
+	off := make([]uint64, c.n+1)
+	for i, d := range c.deg {
+		off[i+1] = off[i] + uint64(d)
+	}
+	adj := make([]VertexID, c.m)
+	w := 0
+	c.scan(func(_ int, v VertexID) bool {
+		adj[w] = v
+		w++
+		return true
+	})
+	return off, adj
+}
+
+// NeighborBuf is a caller-owned decode buffer for the *With accessors.
+// Each worker keeps its own; the zero value is ready to use. On a flat
+// graph the buffer is never touched (the shared CSR slice is returned
+// directly), so the flat path stays zero-copy and allocation-free.
+type NeighborBuf struct {
+	buf []VertexID
+}
+
+// OutNeighborsWith returns vertex i's out-neighbours: the shared CSR
+// slice on a flat graph (do not modify), or nb's buffer filled by
+// decoding on a compressed graph (valid until the next call with the
+// same nb).
+func (g *Graph) OutNeighborsWith(nb *NeighborBuf, i int) []VertexID {
+	if g.outC == nil {
+		return g.OutNeighbors(i)
+	}
+	nb.buf = g.outC.appendNeighbors(i, nb.buf[:0])
+	return nb.buf
+}
+
+// InNeighborsWith is OutNeighborsWith for the in-direction. It panics
+// with ErrNoInEdges if in-edges were not built.
+func (g *Graph) InNeighborsWith(nb *NeighborBuf, i int) []VertexID {
+	if g.inC == nil {
+		return g.InNeighbors(i)
+	}
+	nb.buf = g.inC.appendNeighbors(i, nb.buf[:0])
+	return nb.buf
+}
+
+// ForEachOutNeighbor streams vertex i's out-neighbours without a
+// buffer, on either backend.
+func (g *Graph) ForEachOutNeighbor(i int, fn func(VertexID)) {
+	if g.outC != nil {
+		g.outC.visit(i, fn)
+		return
+	}
+	for _, v := range g.OutNeighbors(i) {
+		fn(v)
+	}
+}
+
+// ForEachInNeighbor streams vertex i's in-neighbours. It panics with
+// ErrNoInEdges if in-edges were not built.
+func (g *Graph) ForEachInNeighbor(i int, fn func(VertexID)) {
+	if g.inC != nil {
+		g.inC.visit(i, fn)
+		return
+	}
+	for _, v := range g.InNeighbors(i) {
+		fn(v)
+	}
+}
+
+// OutEdgesWeightedWith returns vertex i's out-neighbours and matching
+// weights on either backend (weights are always a shared slice — they
+// stay flat under compression). It panics with ErrNoWeights on
+// unweighted graphs.
+func (g *Graph) OutEdgesWeightedWith(nb *NeighborBuf, i int) ([]VertexID, []uint32) {
+	if g.outC == nil {
+		return g.OutEdgesWeighted(i)
+	}
+	if g.outW == nil {
+		panic(ErrNoWeights)
+	}
+	lo := g.outC.edgeOffset(i)
+	nb.buf = g.outC.appendNeighbors(i, nb.buf[:0])
+	return nb.buf, g.outW[lo : lo+uint64(len(nb.buf))]
+}
+
+// ForEachOutEdgeWeighted streams vertex i's out-neighbours with their
+// weights, on either backend. It panics with ErrNoWeights on unweighted
+// graphs.
+func (g *Graph) ForEachOutEdgeWeighted(i int, fn func(VertexID, uint32)) {
+	if g.outW == nil {
+		panic(ErrNoWeights)
+	}
+	if g.outC != nil {
+		j := g.outC.edgeOffset(i)
+		g.outC.visit(i, func(v VertexID) {
+			fn(v, g.outW[j])
+			j++
+		})
+		return
+	}
+	lo, hi := g.outOff[i], g.outOff[i+1]
+	for e := lo; e < hi; e++ {
+		fn(g.outAdj[e], g.outW[e])
+	}
+}
+
+// CompressedParts exposes one direction's block arrays for
+// serialisation (the IPG3 writer) and admission (the IPG3 reader, the
+// mmap loader). The slices are shared with the graph; treat them as
+// read-only.
+type CompressedParts struct {
+	Deg       []uint32
+	BlockOff  []uint64
+	BlockEdge []uint64
+	Data      []byte
+}
+
+// OutCompressedParts returns the out-direction's block arrays, or
+// ok=false on a flat graph.
+func (g *Graph) OutCompressedParts() (p CompressedParts, ok bool) {
+	if g.outC == nil {
+		return CompressedParts{}, false
+	}
+	return CompressedParts{Deg: g.outC.deg, BlockOff: g.outC.blockOff, BlockEdge: g.outC.blockEdge, Data: g.outC.data}, true
+}
+
+// NewCompressedOut builds a compressed graph directly from block arrays
+// (the IPG3 reader and mmap loader path), fully validating them —
+// hostile inputs error, never panic. weights may be nil; when present
+// its length must equal the edge count. The slices are retained, not
+// copied (the mmap loader aliases the file).
+func NewCompressedOut(base VertexID, n int, p CompressedParts, weights []uint32) (*Graph, error) {
+	c, err := newCompressedAdj(n, p.Deg, p.BlockOff, p.BlockEdge, p.Data)
+	if err != nil {
+		return nil, err
+	}
+	if weights != nil && uint64(len(weights)) != c.m {
+		return nil, fmt.Errorf("graph: weight array length %d, want edge count %d", len(weights), c.m)
+	}
+	return &Graph{n: n, base: base, outC: c, outW: weights}, nil
+}
+
+// FromCSR builds a flat graph directly from CSR arrays, validating
+// them (the mmap loader path for IPG1/IPG2 — the adjacency aliases the
+// mapped file). weights may be nil.
+func FromCSR(base VertexID, outOff []uint64, outAdj []VertexID, weights []uint32) (*Graph, error) {
+	n := len(outOff) - 1
+	if n < 0 {
+		return nil, errors.New("graph: empty offset array")
+	}
+	if err := validateCSR("out", n, outOff, outAdj); err != nil {
+		return nil, err
+	}
+	if weights != nil && len(weights) != len(outAdj) {
+		return nil, fmt.Errorf("graph: weight array length %d, want edge count %d", len(weights), len(outAdj))
+	}
+	return &Graph{n: n, base: base, outOff: outOff, outAdj: outAdj, outW: weights}, nil
+}
+
+// WeightData returns the shared per-edge weight array in CSR edge
+// order, or nil on unweighted graphs; callers must not modify it. It is
+// the serialisation-side pair of OutCompressedParts.
+func (g *Graph) WeightData() []uint32 { return g.outW }

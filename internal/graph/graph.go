@@ -41,6 +41,12 @@ type Graph struct {
 	// in-CSR; nil slices when in-edges were not requested.
 	inOff []uint64
 	inAdj []VertexID
+
+	// Block-compressed adjacency (compressed.go); when outC is non-nil
+	// the flat outOff/outAdj are nil and the slice accessors panic with
+	// ErrCompressedAdjacency. inC likewise replaces inOff/inAdj.
+	outC *compressedAdj
+	inC  *compressedAdj
 }
 
 // ErrNoInEdges is returned or panicked on by operations that require the
@@ -52,6 +58,9 @@ func (g *Graph) N() int { return g.n }
 
 // M returns the number of directed edges.
 func (g *Graph) M() uint64 {
+	if g.outC != nil {
+		return g.outC.m
+	}
 	if g.n == 0 {
 		return 0
 	}
@@ -66,7 +75,7 @@ func (g *Graph) Base() VertexID { return g.base }
 func (g *Graph) ExternalID(i int) VertexID { return g.base + VertexID(i) }
 
 // HasInEdges reports whether the in-adjacency was materialised.
-func (g *Graph) HasInEdges() bool { return g.inOff != nil }
+func (g *Graph) HasInEdges() bool { return g.inOff != nil || g.inC != nil }
 
 // ErrNoOutAdjacency is panicked on by operations that enumerate
 // out-neighbours when the graph was reduced with StripOutAdjacency.
@@ -74,8 +83,13 @@ var ErrNoOutAdjacency = errors.New("graph: out-adjacency was stripped (StripOutA
 
 // OutNeighbors returns the out-neighbour internal indices of vertex i as a
 // shared slice; callers must not modify it. It panics with
-// ErrNoOutAdjacency on a graph reduced by StripOutAdjacency.
+// ErrNoOutAdjacency on a graph reduced by StripOutAdjacency, and with
+// ErrCompressedAdjacency on the compressed backend, which has no shared
+// slice to return — use OutNeighborsWith or ForEachOutNeighbor there.
 func (g *Graph) OutNeighbors(i int) []VertexID {
+	if g.outC != nil {
+		panic(ErrCompressedAdjacency)
+	}
 	if g.outAdj == nil && g.outOff[i] != g.outOff[i+1] {
 		panic(ErrNoOutAdjacency)
 	}
@@ -84,8 +98,12 @@ func (g *Graph) OutNeighbors(i int) []VertexID {
 
 // InNeighbors returns the in-neighbour internal indices of vertex i as a
 // shared slice; callers must not modify it. It panics with ErrNoInEdges if
-// in-edges were not built.
+// in-edges were not built, and with ErrCompressedAdjacency on the
+// compressed backend — use InNeighborsWith or ForEachInNeighbor there.
 func (g *Graph) InNeighbors(i int) []VertexID {
+	if g.inC != nil {
+		panic(ErrCompressedAdjacency)
+	}
 	if g.inOff == nil {
 		panic(ErrNoInEdges)
 	}
@@ -94,6 +112,9 @@ func (g *Graph) InNeighbors(i int) []VertexID {
 
 // OutDegree returns the out-degree of vertex i.
 func (g *Graph) OutDegree(i int) int {
+	if g.outC != nil {
+		return int(g.outC.deg[i])
+	}
 	return int(g.outOff[i+1] - g.outOff[i])
 }
 
@@ -101,11 +122,20 @@ func (g *Graph) OutDegree(i int) int {
 // the out-degree prefix sum, valid for 0 ≤ i ≤ N() with
 // OutEdgeOffset(N()) == M(). Schedulers use it to cut the vertex range
 // into equal-edge shares without materialising their own prefix sums.
-func (g *Graph) OutEdgeOffset(i int) uint64 { return g.outOff[i] }
+// On the compressed backend it costs O(CompressedBlockSize).
+func (g *Graph) OutEdgeOffset(i int) uint64 {
+	if g.outC != nil {
+		return g.outC.edgeOffset(i)
+	}
+	return g.outOff[i]
+}
 
 // InDegree returns the in-degree of vertex i. It panics with ErrNoInEdges
 // if in-edges were not built.
 func (g *Graph) InDegree(i int) int {
+	if g.inC != nil {
+		return int(g.inC.deg[i])
+	}
 	if g.inOff == nil {
 		panic(ErrNoInEdges)
 	}
@@ -113,8 +143,13 @@ func (g *Graph) InDegree(i int) int {
 }
 
 // Edges calls fn(src, dst) for every directed edge, in CSR order. It stops
-// early if fn returns false.
+// early if fn returns false. Works on both backends (one linear decode
+// pass on the compressed one).
 func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
+	if g.outC != nil {
+		g.outC.scan(func(u int, v VertexID) bool { return fn(VertexID(u), v) })
+		return
+	}
 	for u := 0; u < g.n; u++ {
 		for _, v := range g.OutNeighbors(u) {
 			if !fn(VertexID(u), v) {
@@ -128,6 +163,9 @@ func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
 // offsets, terminal offset equal to the adjacency length, and neighbour
 // indices within range. It returns nil for a well-formed graph.
 func (g *Graph) Validate() error {
+	if g.outC != nil || g.inC != nil {
+		return g.validateCompressed()
+	}
 	if g.outAdj == nil && g.n > 0 && g.outOff[g.n] > 0 {
 		// degree-only layout: offsets must still be a valid prefix-sum
 		for i := 0; i < g.n; i++ {
@@ -145,6 +183,29 @@ func (g *Graph) Validate() error {
 		if g.inOff[g.n] != g.outOff[g.n] {
 			return fmt.Errorf("graph: in-edge count %d != out-edge count %d", g.inOff[g.n], g.outOff[g.n])
 		}
+	}
+	return nil
+}
+
+// validateCompressed re-checks the block invariants of the compressed
+// backend (a full decode sweep per direction).
+func (g *Graph) validateCompressed() error {
+	if g.outC == nil {
+		return fmt.Errorf("graph: compressed in-adjacency on a flat out-adjacency")
+	}
+	if err := g.outC.check(); err != nil {
+		return fmt.Errorf("out: %w", err)
+	}
+	if g.inC != nil {
+		if err := g.inC.check(); err != nil {
+			return fmt.Errorf("in: %w", err)
+		}
+		if g.inC.m != g.outC.m {
+			return fmt.Errorf("graph: in-edge count %d != out-edge count %d", g.inC.m, g.outC.m)
+		}
+	}
+	if g.outW != nil && uint64(len(g.outW)) != g.outC.m {
+		return fmt.Errorf("graph: weight array length %d, want edge count %d", len(g.outW), g.outC.m)
 	}
 	return nil
 }
@@ -177,6 +238,9 @@ func validateCSR(kind string, n int, off []uint64, adj []VertexID) error {
 // (always), i.e. the transpose's out-CSR is the receiver's in-CSR. If the
 // receiver lacks in-edges they are computed.
 func (g *Graph) Transpose() *Graph {
+	if g.IsCompressed() {
+		panic(ErrCompressedAdjacency)
+	}
 	if g.outW != nil {
 		rOff, rAdj, rW := reverseCSRWeighted(g.n, g.outOff, g.outAdj, g.outW)
 		return &Graph{n: g.n, base: g.base, outOff: rOff, outAdj: rAdj, outW: rW, inOff: g.outOff, inAdj: g.outAdj}
@@ -197,25 +261,52 @@ func (g *Graph) Transpose() *Graph {
 
 // WithInEdges returns a graph sharing the receiver's out-CSR with the
 // in-CSR materialised. If in-edges already exist the receiver is returned
-// unchanged.
+// unchanged. On a compressed receiver the in-adjacency is built by one
+// decode pass and stored compressed as well (so an mmap-loaded IPG3
+// graph can serve the pull combiner).
 func (g *Graph) WithInEdges() *Graph {
-	if g.inOff != nil {
+	if g.HasInEdges() {
 		return g
 	}
+	if g.outC != nil {
+		inOff, inAdj := reverseCompressed(g.outC)
+		return &Graph{n: g.n, base: g.base, outC: g.outC, outW: g.outW, inC: compressCSR(g.n, inOff, inAdj)}
+	}
 	inOff, inAdj := reverseCSR(g.n, g.outOff, g.outAdj)
-	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj, inOff: inOff, inAdj: inAdj}
+	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj, outW: g.outW, inOff: inOff, inAdj: inAdj}
+}
+
+// reverseCompressed builds the reversed flat CSR from a compressed
+// adjacency with the same two-pass counting construction as reverseCSR,
+// replacing the slice walks with decode scans.
+func reverseCompressed(c *compressedAdj) ([]uint64, []VertexID) {
+	rOff := make([]uint64, c.n+1)
+	c.scan(func(_ int, v VertexID) bool { rOff[v+1]++; return true })
+	for i := 0; i < c.n; i++ {
+		rOff[i+1] += rOff[i]
+	}
+	rAdj := make([]VertexID, c.m)
+	cursor := make([]uint64, c.n)
+	copy(cursor, rOff[:c.n])
+	c.scan(func(u int, v VertexID) bool {
+		rAdj[cursor[v]] = VertexID(u)
+		cursor[v]++
+		return true
+	})
+	return rOff, rAdj
 }
 
 // StripInEdges returns a graph sharing the receiver's out-CSR with no
 // in-adjacency, mirroring the paper's lightest vertex internals ("out
 // only", §3.2).
 func (g *Graph) StripInEdges() *Graph {
-	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj}
+	return &Graph{n: g.n, base: g.base, outOff: g.outOff, outAdj: g.outAdj, outW: g.outW, outC: g.outC}
 }
 
-// HasOutAdjacency reports whether out-neighbour lists are materialised.
-// It is false only for graphs produced by StripOutAdjacency.
-func (g *Graph) HasOutAdjacency() bool { return g.n == 0 || g.outAdj != nil }
+// HasOutAdjacency reports whether out-neighbour lists are materialised
+// (flat or compressed). It is false only for graphs produced by
+// StripOutAdjacency.
+func (g *Graph) HasOutAdjacency() bool { return g.n == 0 || g.outAdj != nil || g.outC != nil }
 
 // StripOutAdjacency returns the paper's "in only" vertex internals
 // (§3.2): in-adjacency plus out-*degrees* (kept via the out offsets, which
@@ -224,6 +315,9 @@ func (g *Graph) HasOutAdjacency() bool { return g.n == 0 || g.outAdj != nil }
 // in 11 GB (§7.4.3): broadcasts go to an outbox, so the sender never
 // enumerates its out-neighbours. OutNeighbors panics on the result.
 func (g *Graph) StripOutAdjacency() (*Graph, error) {
+	if g.IsCompressed() {
+		return nil, ErrCompressedAdjacency
+	}
 	if g.inOff == nil {
 		return nil, ErrNoInEdges
 	}
@@ -305,6 +399,12 @@ func (g *Graph) MemoryBytes() uint64 {
 	b := uint64(len(g.outOff))*8 + uint64(len(g.outAdj))*4 + uint64(len(g.outW))*4
 	if g.inOff != nil {
 		b += uint64(len(g.inOff))*8 + uint64(len(g.inAdj))*4
+	}
+	if g.outC != nil {
+		b += g.outC.memoryBytes()
+	}
+	if g.inC != nil {
+		b += g.inC.memoryBytes()
 	}
 	return b
 }

@@ -18,6 +18,9 @@ func (g *Graph) Relabel(perm []int) *Graph {
 	if len(perm) != n {
 		panic("graph: Relabel permutation has wrong length")
 	}
+	if g.IsCompressed() {
+		panic(ErrCompressedAdjacency)
+	}
 	if g.outAdj == nil && g.M() > 0 {
 		panic(ErrNoOutAdjacency)
 	}

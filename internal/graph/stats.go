@@ -31,9 +31,7 @@ func ComputeStats(name string, g *Graph) Stats {
 	}
 	in := make([]uint32, g.N())
 	if !g.HasInEdges() {
-		for _, v := range g.outAdj {
-			in[v]++
-		}
+		g.Edges(func(_, v VertexID) bool { in[v]++; return true })
 	}
 	for i := 0; i < g.N(); i++ {
 		d := g.OutDegree(i)

@@ -24,8 +24,13 @@ var ErrNoWeights = errors.New("graph: graph has no edge weights")
 func (g *Graph) HasWeights() bool { return g.outW != nil }
 
 // OutEdgesWeighted returns vertex i's out-neighbours and the matching
-// weights. It panics with ErrNoWeights on unweighted graphs.
+// weights. It panics with ErrNoWeights on unweighted graphs, and with
+// ErrCompressedAdjacency on the compressed backend — use
+// OutEdgesWeightedWith there.
 func (g *Graph) OutEdgesWeighted(i int) ([]VertexID, []uint32) {
+	if g.outC != nil {
+		panic(ErrCompressedAdjacency)
+	}
 	if g.outW == nil {
 		panic(ErrNoWeights)
 	}

@@ -39,8 +39,13 @@ func BinarySizeBytes(n int, m uint64) uint64 {
 }
 
 // WriteBinary encodes g in the compact binary format; weighted graphs
-// use the IPG2 variant and keep their weights.
+// use the IPG2 variant and keep their weights, and compressed-backend
+// graphs use the IPG3 variant (compressed.go) — the flat IPG1/IPG2
+// byte layouts never change.
 func WriteBinary(w io.Writer, g *graph.Graph) error {
+	if g.IsCompressed() {
+		return writeBinaryCompressed(w, g)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	magic := binaryMagic
 	if g.HasWeights() {
@@ -102,6 +107,9 @@ func ReadBinary(r io.Reader, opts Options) (*graph.Graph, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("graphio: binary header: %w", err)
+	}
+	if magic == binaryMagic3 {
+		return readBinaryCompressed(br, opts)
 	}
 	weighted := magic == binaryMagicW
 	if magic != binaryMagic && !weighted {

@@ -132,5 +132,42 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(buf.Bytes()[:len(buf.Bytes())/2]) // truncated
 	f.Add([]byte{})
 	f.Add([]byte("IPGR"))
+
+	// IPG3 (block-compressed) seeds: valid unweighted, valid weighted,
+	// truncated mid-stream, and one with a corrupted varint byte — the
+	// reader must reject all damage with an error, never a panic.
+	var b3 graph.Builder
+	b3.Compress()
+	for i := 0; i < 100; i++ {
+		b3.AddEdge(graph.VertexID(i%10), graph.VertexID((i*7)%10))
+	}
+	var buf3 bytes.Buffer
+	if err := WriteBinary(&buf3, b3.MustBuild()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf3.Bytes())
+	f.Add(buf3.Bytes()[:len(buf3.Bytes())-3])
+	corrupt := append([]byte(nil), buf3.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0x80
+	f.Add(corrupt)
+	var wb graph.WeightedBuilder
+	wb.AddEdge(1, 2, 10)
+	wb.AddEdge(2, 3, 20)
+	wg, err := wb.MustBuild().Compress()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var bufW bytes.Buffer
+	if err := WriteBinary(&bufW, wg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufW.Bytes())
+	// Hostile IPG3 headers: huge n (must die on MaxVertices before
+	// allocating), dataLen lying about the stream size.
+	f.Add([]byte("IPG3\x00\x00\x00\x00\x00\x00\x00\x00\x40\x00\x00\x00" +
+		"\xff\xff\xff\xff\xff\xff\xff\x0f" + "\x10\x00\x00\x00\x00\x00\x00\x00" + "\x10\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("IPG3\x00\x00\x00\x00\x00\x00\x00\x00\x40\x00\x00\x00" +
+		"\x02\x00\x00\x00\x00\x00\x00\x00" + "\x02\x00\x00\x00\x00\x00\x00\x00" + "\xff\xff\xff\xff\x00\x00\x00\x00"))
+
 	f.Fuzz(func(t *testing.T, data []byte) { fuzzRead(t, FormatBinary, data) })
 }

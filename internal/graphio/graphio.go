@@ -268,8 +268,9 @@ func writeEdgeList(w io.Writer, g *graph.Graph, commentPrefix string) error {
 	fmt.Fprintf(bw, "%s|V|=%d |E|=%d base=%d\n", commentPrefix, g.N(), g.M(), g.Base())
 	var werr error
 	if g.HasWeights() {
+		var nb graph.NeighborBuf
 		for u := 0; u < g.N() && werr == nil; u++ {
-			adj, ws := g.OutEdgesWeighted(u)
+			adj, ws := g.OutEdgesWeightedWith(&nb, u)
 			for j, d := range adj {
 				if _, werr = fmt.Fprintf(bw, "%d %d %d\n", g.Base()+graph.VertexID(u), g.Base()+d, ws[j]); werr != nil {
 					break

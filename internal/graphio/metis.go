@@ -99,8 +99,9 @@ func WriteMETIS(w io.Writer, g *graph.Graph) error {
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()/2)
+	var nb graph.NeighborBuf
 	for u := 0; u < g.N(); u++ {
-		for j, v := range g.OutNeighbors(u) {
+		for j, v := range g.OutNeighborsWith(&nb, u) {
 			if j > 0 {
 				if err := bw.WriteByte(' '); err != nil {
 					return err

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graphio
+
+import (
+	"fmt"
+	"os"
+)
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("memory-mapped graphs are not supported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package graphio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only and shared: neighbour pages load
+// lazily and the kernel may evict them under memory pressure, which is
+// the whole point of the mmap backend.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("file size %d not mappable", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

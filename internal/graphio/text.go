@@ -215,8 +215,9 @@ func writeDIMACS(w io.Writer, g *graph.Graph) error {
 	fmt.Fprintf(bw, "p sp %d %d\n", g.N(), g.M())
 	var werr error
 	if g.HasWeights() {
+		var nb graph.NeighborBuf
 		for u := 0; u < g.N() && werr == nil; u++ {
-			adj, ws := g.OutEdgesWeighted(u)
+			adj, ws := g.OutEdgesWeightedWith(&nb, u)
 			for j, d := range adj {
 				if _, werr = fmt.Fprintf(bw, "a %d %d %d\n", u+1, uint64(d)+1, ws[j]); werr != nil {
 					break

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ipregel/internal/core"
+	"ipregel/internal/graph"
 )
 
 // MeasurePeakHeap runs fn while sampling runtime.MemStats.HeapAlloc and
@@ -73,6 +74,48 @@ func GraphBinaryBytes(v, e uint64) uint64 { return 4*v + 4*e }
 // CSRBytes is this repository's in-memory CSR cost for one direction:
 // 8-byte offsets per vertex (+1) plus 4-byte adjacency per edge.
 func CSRBytes(v, e uint64) uint64 { return 8*(v+1) + 4*e }
+
+// CompressedCSRBytes is the in-memory cost of one block-compressed
+// adjacency direction (internal/graph's delta+varint blocks): a 4-byte
+// degree per vertex, two 8-byte block tables with one entry per
+// 64-vertex block (+1), and the varint stream itself, whose length is
+// graph-dependent (dataLen; obtain it from the measured
+// Graph.MemoryBytes or a CompressedParts view). For dataLen below
+// ~3.5 bytes/edge this undercuts the flat CSRBytes — delta encoding on
+// sorted adjacency typically lands at 1–2 bytes/edge.
+func CompressedCSRBytes(v, dataLen uint64) uint64 {
+	nb := (v + graph.CompressedBlockSize - 1) / graph.CompressedBlockSize
+	return 4*v + 2*8*(nb+1) + dataLen
+}
+
+// MeasureRetained builds a value and returns the settled heap bytes it
+// retains: heap growth from before the build to after a post-build GC,
+// with the result kept alive across the final measurement. Unlike
+// MeasurePeakHeap this excludes build-time scratch, which is the right
+// quantity for comparing resident graph backends (a compressed build
+// briefly holds encoder buffers that do not survive it).
+func MeasureRetained(build func() any) uint64 {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	v := build()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(v)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// BytesPerVertex normalises a footprint to the paper's per-vertex unit.
+func BytesPerVertex(bytes uint64, v int) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(v)
+}
 
 // IPregelParams describes an engine instantiation for the analytic model.
 type IPregelParams struct {

@@ -5,6 +5,7 @@ import (
 
 	"ipregel/internal/core"
 	"ipregel/internal/gen"
+	"ipregel/internal/graph"
 )
 
 func TestMeasurePeakHeapSeesAllocation(t *testing.T) {
@@ -168,5 +169,71 @@ func TestGBFormatting(t *testing.T) {
 func TestFitsBudget(t *testing.T) {
 	if !FitsBudget(5, 5) || FitsBudget(6, 5) {
 		t.Fatal("FitsBudget")
+	}
+}
+
+// Footprint regression for the compressed graph backend: on a power-law
+// graph with sorted adjacency, the measured resident bytes of the
+// block-compressed graph must come in strictly under the flat CSR, and
+// both the measured and the structural footprints must agree with the
+// analytic models within slack for allocator rounding.
+func TestCompressedBackendFootprint(t *testing.T) {
+	build := func() *graph.Graph {
+		// Sorted adjacency (what Builder.Compress would produce) so the
+		// delta encoding gets its intended ratio.
+		src := gen.RMATN(20_000, 160_000, 7, 0, false)
+		var b graph.Builder
+		b.SortAdjacency()
+		src.Edges(func(u, v graph.VertexID) bool {
+			b.AddEdge(u, v)
+			return true
+		})
+		return b.MustBuild()
+	}
+	flat := build()
+	compressed, err := flat.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measuredFlat := MeasureRetained(func() any { return build() })
+	measuredComp := MeasureRetained(func() any {
+		cg, err := build().Compress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cg
+	})
+	t.Logf("flat: measured=%s structural=%s (%.1f B/vertex)", GB(measuredFlat), GB(flat.MemoryBytes()), BytesPerVertex(measuredFlat, flat.N()))
+	t.Logf("compressed: measured=%s structural=%s (%.1f B/vertex)", GB(measuredComp), GB(compressed.MemoryBytes()), BytesPerVertex(measuredComp, flat.N()))
+
+	if measuredComp >= measuredFlat {
+		t.Fatalf("compressed backend measured %d bytes, flat %d: compression saved nothing", measuredComp, measuredFlat)
+	}
+
+	// Measured vs structural: the allocator may round spans up, but the
+	// retained heap growth must stay near the structural byte count.
+	within := func(name string, measured, structural uint64) {
+		lo, hi := structural*8/10, structural*13/10
+		if measured < lo || measured > hi {
+			t.Fatalf("%s: measured %d bytes vs structural %d (outside [%d, %d])", name, measured, structural, lo, hi)
+		}
+	}
+	within("flat", measuredFlat, flat.MemoryBytes())
+	within("compressed", measuredComp, compressed.MemoryBytes())
+
+	// Analytic vs structural, out-direction: CompressedCSRBytes with the
+	// actual stream length must match the graph's block arrays exactly.
+	parts, ok := compressed.OutCompressedParts()
+	if !ok {
+		t.Fatal("compressed graph has no out parts")
+	}
+	analytic := CompressedCSRBytes(uint64(flat.N()), uint64(len(parts.Data)))
+	structural := uint64(4*len(parts.Deg) + 8*len(parts.BlockOff) + 8*len(parts.BlockEdge) + len(parts.Data))
+	if analytic != structural {
+		t.Fatalf("CompressedCSRBytes = %d, actual block arrays = %d", analytic, structural)
+	}
+	if flatCSR := CSRBytes(uint64(flat.N()), uint64(flat.M())); analytic >= flatCSR {
+		t.Fatalf("analytic compressed %d bytes >= flat CSR %d", analytic, flatCSR)
 	}
 }
