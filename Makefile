@@ -5,7 +5,7 @@ GO ?= go
 # race-detector pass over the engine and algorithms, whose combiners,
 # sender caches and schedules must stay race-clean (the race targets run
 # with Config.CheckInvariants enabled in their configs).
-.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke ipregeld-smoke membackend-smoke chaos
+.PHONY: check vet ipregel-vet vet-json build test race fuzz bench telemetry-smoke ipregeld-smoke membackend-smoke direction-smoke chaos
 check: vet ipregel-vet build test race
 
 vet:
@@ -49,6 +49,13 @@ ipregeld-smoke:
 # ipregeld serving a mapped graph.
 membackend-smoke:
 	sh scripts/membackend_smoke.sh
+
+# End-to-end check of the direction model: -direction push/pull/adaptive
+# parity through the CLI (including sharded pull and -hub-split), the
+# adaptive JSONL trace recording pull steps and a switch, and the
+# push-vs-pull-vs-adaptive ablation written to results/BENCH_direction.json.
+direction-smoke:
+	sh scripts/direction_smoke.sh
 
 # Fault-injection gauntlet: the kill-anywhere crash matrix (flat and
 # sharded — the CrashMatrix regex also matches TestCrashMatrixSharded)

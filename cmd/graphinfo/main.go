@@ -69,6 +69,18 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "binary size: %s (paper §7.4.2 accounting)\n", memmodel.GB(graphio.BinarySizeBytes(g.N(), g.M())))
 	fmt.Fprintf(out, "in-memory CSR: %s; degree inequality (Gini): %.3f\n", memmodel.GB(g.MemoryBytes()), graph.GiniOutDegree(g))
 	fmt.Fprintf(out, "isolated vertices: %d\n", s.Isolated)
+	// Degree skew: the quantities the hub-splitting scheduler keys on
+	// (core.Config.HubSplit defaults its cut to the p99.9).
+	p99 := graph.OutDegreeQuantile(g, 0.99)
+	p999 := graph.OutDegreeQuantile(g, 0.999)
+	hubs := 0
+	for i := 0; i < g.N(); i++ {
+		if g.OutDegree(i) > p999 {
+			hubs++
+		}
+	}
+	fmt.Fprintf(out, "degree skew: max %d, p99 %d, p99.9 %d; %d hub vertices above the p99.9 split cut\n",
+		s.MaxOutDegree, p99, p999, hubs)
 	if *hist {
 		fmt.Fprintln(out, "out-degree histogram (bucket k = degrees in [2^(k-1), 2^k)):")
 		for k, c := range graph.DegreeHistogram(g) {

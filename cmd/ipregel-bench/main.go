@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		steal   = fs.Bool("steal", false, "work-stealing shard scheduler (with -shards > 1)")
 		quick   = fs.Bool("quick", false, "fewer repetitions and smaller sweeps")
 		backend = fs.String("graph-backend", "flat", "adjacency storage for experiment graphs: flat | compressed | mmap")
+		dirFlag = fs.String("direction", "push", "message transport for every iPregel engine: push | pull | adaptive (pull-combiner cells keep their legacy transport)")
 		rounds  = fs.Int("pagerank-rounds", 0, "PageRank iterations (default 30, as in the paper)")
 		csvDir  = fs.String("csv", "", "also write figure data series as CSV files into this directory")
 		telAddr = fs.String("telemetry", "", "serve live /metrics, expvar and /debug/pprof on this address (e.g. :8080) while experiments run")
@@ -80,7 +81,11 @@ func run(args []string, out io.Writer) error {
 	if *steal && *shards <= 1 {
 		return fmt.Errorf("-steal schedules (shard, slot-range) tasks; it needs -shards > 1")
 	}
-	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Overlap: *overlap, Steal: *steal, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers, Backend: *backend}
+	dir, err := core.ParseDirection(*dirFlag)
+	if err != nil {
+		return err
+	}
+	o := &bench.Options{Divisor: *divisor, Threads: *threads, Shards: *shards, Overlap: *overlap, Steal: *steal, Quick: *quick, PRRounds: *rounds, CSVDir: *csvDir, Observers: observers, Backend: *backend, Direction: dir}
 	defer o.Close()
 	switch {
 	case *all:

@@ -59,6 +59,10 @@ func run(args []string, out io.Writer) error {
 		partition = fs.String("partition", "range", "iPregel shard partitioner: range | hash (with -shards > 1)")
 		overlap   = fs.Bool("overlap", false, "overlap cross-shard delivery with compute via per-shard drainers (with -shards > 1)")
 		steal     = fs.Bool("steal", false, "work-stealing shard scheduler: dynamic (shard, slot-range) task queues (with -shards > 1)")
+		direction = fs.String("direction", "push", "iPregel message transport per superstep: push | pull | adaptive (density-switched; broadcast-only apps)")
+		dirThresh = fs.Float64("direction-threshold", 0, "adaptive direction: pull when the frontier's out-edges reach this fraction of |E| (default 0.05)")
+		hubSplit  = fs.Bool("hub-split", false, "fan high-out-degree broadcasts out as parallel chunked subtasks")
+		hubCut    = fs.Int("hub-cut", 0, "out-degree above which a broadcast is split (default: p99.9 of the degree distribution; with -hub-split)")
 		rounds    = fs.Int("rounds", 30, "PageRank iterations")
 		source    = fs.Uint("source", 2, "SSSP/BFS source vertex identifier")
 		nodes     = fs.Int("nodes", 1, "pregelplus: simulated node count")
@@ -107,14 +111,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if *backend != "flat" {
 		// The non-flat backends drop the shared-slice adjacency accessors,
-		// which the comparison frameworks and the iterative SCC walk rely
-		// on; everything else goes through the iterator path.
+		// which the comparison frameworks rely on; every iPregel app
+		// (including scc's trim/Tarjan walks) goes through the iterator
+		// path and runs on any backend.
 		if *framework != "ipregel" {
 			return fmt.Errorf("-graph-backend %s requires -framework ipregel; the %s baseline walks the flat CSR directly", *backend, *framework)
 		}
-		if *app == "scc" {
-			return fmt.Errorf("-app scc needs the flat backend: its sequential Tarjan phase indexes the CSR slices directly")
-		}
+	}
+	dir, derr := core.ParseDirection(*direction)
+	if derr != nil {
+		return derr
+	}
+	if (dir != core.DirectionPush || *hubSplit) && *framework != "ipregel" {
+		return fmt.Errorf("-direction and -hub-split are iPregel engine features; -framework %s does not support them", *framework)
 	}
 
 	var g *graph.Graph
@@ -178,16 +187,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := core.Config{
-		Combiner:        comb,
-		Addressing:      addr,
-		Schedule:        sched,
-		SenderCombining: *combining,
-		SelectionBypass: *bypass,
-		Threads:         *threads,
-		Shards:          *shards,
-		Partition:       part,
-		OverlapDelivery: *overlap,
-		WorkStealing:    *steal,
+		Combiner:           comb,
+		Addressing:         addr,
+		Schedule:           sched,
+		SenderCombining:    *combining,
+		SelectionBypass:    *bypass,
+		Threads:            *threads,
+		Shards:             *shards,
+		Partition:          part,
+		OverlapDelivery:    *overlap,
+		WorkStealing:       *steal,
+		Direction:          dir,
+		DirectionThreshold: *dirThresh,
+		HubSplit:           *hubSplit,
+		HubDegreeCut:       *hubCut,
 	}
 
 	// Telemetry sinks observe the engine via Config.Observers; all hooks

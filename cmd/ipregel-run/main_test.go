@@ -105,7 +105,6 @@ func TestRunFlagValidation(t *testing.T) {
 		{[]string{"-shards", "-1", "-graph", "ring:5"}, "-shards must be at least 1"},
 		{[]string{"-shards", "2", "-framework", "pregelplus", "-graph", "ring:5"}, "does not support"},
 		{[]string{"-shards", "2", "-partition", "bogus", "-graph", "ring:5"}, "partition"},
-		{[]string{"-shards", "2", "-combiner", "broadcast", "-graph", "ring:5"}, "pull"},
 		{[]string{"-overlap", "-graph", "ring:5"}, "-overlap"},
 		{[]string{"-overlap", "-shards", "1", "-graph", "ring:5"}, "needs -shards > 1"},
 		{[]string{"-steal", "-graph", "ring:5"}, "-steal"},
@@ -124,6 +123,9 @@ func TestRunFlagValidation(t *testing.T) {
 	// The untouched default (-threads omitted) must keep meaning "all
 	// processors" — no error.
 	runOK(t, "-app", "hashmin", "-graph", "ring:10")
+	// Sharded broadcast used to be rejected; it now normalises onto the
+	// shard-aware hybrid pull transport and runs.
+	runOK(t, "-app", "hashmin", "-graph", "ring:10", "-shards", "2", "-combiner", "broadcast")
 }
 
 // TestRunRecoverable drives the -checkpoint-dir / -chaos path: every

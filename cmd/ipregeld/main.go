@@ -84,6 +84,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		backend   = fs.String("graph-backend", "flat", "adjacency storage for resident graphs: flat | compressed | mmap (mmap applies to -graph-file .bin files; others fall back to compressed)")
 		divisor   = fs.Int("divisor", 0, "scale divisor for preset graphs (default 64)")
 		combiner  = fs.String("combiner", "spinlock", "engine combiner: mutex | spinlock | atomic | broadcast")
+		direction = fs.String("direction", "push", "default message transport per job engine: push | pull | adaptive (jobs override via params.direction; pull/adaptive load graphs with in-edges)")
 		address   = fs.String("addressing", "offset", "engine addressing: direct | offset | desolate | hashmap")
 		schedule  = fs.String("schedule", "static", "compute-phase schedule: static | dynamic | edge-balanced")
 		combining = fs.Bool("sender-combining", false, "pre-combine repeated sends worker-locally")
@@ -121,7 +122,15 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	pull := comb == core.CombinerPull
+	dir, err := core.ParseDirection(*direction)
+	if err != nil {
+		return err
+	}
+	// In-edges are loaded whenever any job could run a pull-direction
+	// superstep: the legacy all-pull combiner, a pull/adaptive template
+	// default, or per-job params.direction overrides (which need the
+	// template to opt in via -direction).
+	needIn := comb == core.CombinerPull || dir != core.DirectionPush
 
 	root := *ckptRoot
 	switch root {
@@ -142,6 +151,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		CacheEntries: *cacheLen,
 		Engine: core.Config{
 			Combiner:        comb,
+			Direction:       dir,
 			Addressing:      addr,
 			Schedule:        sched,
 			SenderCombining: *combining,
@@ -175,7 +185,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		how := ""
 		if a.file && *backend == "mmap" && strings.HasSuffix(a.src, ".bin") {
 			var m *graphio.Mapped
-			m, err = graphio.OpenMapped(a.src, graphio.Options{BuildInEdges: pull})
+			m, err = graphio.OpenMapped(a.src, graphio.Options{BuildInEdges: needIn})
 			if err != nil {
 				return fmt.Errorf("graph %s: %w", a.name, err)
 			}
@@ -184,9 +194,9 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			how = " (mapped read-only)"
 		} else {
 			if a.file {
-				g, err = graphio.ReadFile(a.src, graphio.Options{BuildInEdges: pull})
+				g, err = graphio.ReadFile(a.src, graphio.Options{BuildInEdges: needIn})
 			} else {
-				g, err = gen.ByName(a.src, gen.PresetParams{Divisor: *divisor, BuildInEdges: pull})
+				g, err = gen.ByName(a.src, gen.PresetParams{Divisor: *divisor, BuildInEdges: needIn})
 			}
 			if err != nil {
 				return fmt.Errorf("graph %s: %w", a.name, err)

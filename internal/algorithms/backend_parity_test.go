@@ -1,6 +1,8 @@
 package algorithms
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -10,6 +12,7 @@ import (
 	"ipregel/internal/gen"
 	"ipregel/internal/graph"
 	"ipregel/internal/graphio"
+	"ipregel/internal/pregelplus"
 )
 
 // Backend parity battery: the engine must be oblivious to how the
@@ -192,6 +195,159 @@ func TestBackendParityPageRank(t *testing.T) {
 					if math.Abs(got[i]-wantVals[i]) > 1e-9*(1+math.Abs(wantVals[i])) {
 						t.Fatalf("%s/%s: rank[%d] = %v, flat %v", gname, cellName(cfg, v.name), i, got[i], wantVals[i])
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendParityDirection is the lifted-restriction battery: the
+// per-superstep direction axis {pull, adaptive} × {1, 4 shards with
+// overlap+steal} × every backend must match the push/flat oracle of the
+// same shard configuration — fingerprints and values — for SSSP,
+// PageRank and WCC. (Pull × shards is exactly the combination New used
+// to hard-reject.)
+func TestBackendParityDirection(t *testing.T) {
+	single := core.Config{Combiner: core.CombinerAtomic, Threads: 4, CheckInvariants: true}
+	sharded := single
+	sharded.Shards = 4
+	sharded.OverlapDelivery = true
+	sharded.WorkStealing = true
+	configs := []core.Config{single, sharded}
+
+	for gname, g := range backendParityGraphs() {
+		variants := backendVariants(t, gname, g)
+		for _, base := range configs {
+			// Push on the flat backend is the oracle for every
+			// (backend, direction) cell of this shard configuration.
+			wantDist, repS, err := SSSP(g, base, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRank, repP, err := PageRank(g, base, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLabel, repW, err := WCC(g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fpS, fpP, fpW := repS.Fingerprint(), repP.Fingerprint(), repW.Fingerprint()
+
+			for _, dir := range []core.Direction{core.DirectionPull, core.DirectionAdaptive} {
+				cfg := base
+				cfg.Direction = dir
+				for _, v := range variants {
+					cell := gname + "/" + cellName(cfg, v.name)
+					dist, rep, err := SSSP(v.g, cfg, 2)
+					if err != nil {
+						t.Fatalf("%s: sssp: %v", cell, err)
+					}
+					if fp := rep.Fingerprint(); fp != fpS {
+						t.Fatalf("%s: sssp fingerprint diverged from push/flat:\ngot:\n%s\nwant:\n%s", cell, fp, fpS)
+					}
+					for i := range wantDist {
+						if dist[i] != wantDist[i] {
+							t.Fatalf("%s: dist[%d] = %d, push/flat %d", cell, i, dist[i], wantDist[i])
+						}
+					}
+					rank, rep, err := PageRank(v.g, cfg, 15)
+					if err != nil {
+						t.Fatalf("%s: pagerank: %v", cell, err)
+					}
+					if fp := rep.Fingerprint(); fp != fpP {
+						t.Fatalf("%s: pagerank fingerprint diverged from push/flat:\ngot:\n%s\nwant:\n%s", cell, fp, fpP)
+					}
+					for i := range wantRank {
+						if math.Abs(rank[i]-wantRank[i]) > 1e-9*(1+math.Abs(wantRank[i])) {
+							t.Fatalf("%s: rank[%d] = %v, push/flat %v", cell, i, rank[i], wantRank[i])
+						}
+					}
+					label, rep, err := WCC(v.g, cfg)
+					if err != nil {
+						t.Fatalf("%s: wcc: %v", cell, err)
+					}
+					if fp := rep.Fingerprint(); fp != fpW {
+						t.Fatalf("%s: wcc fingerprint diverged from push/flat:\ngot:\n%s\nwant:\n%s", cell, fp, fpW)
+					}
+					for i := range wantLabel {
+						if label[i] != wantLabel[i] {
+							t.Fatalf("%s: label[%d] = %d, push/flat %d", cell, i, label[i], wantLabel[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendParityAdaptiveResume round-trips an adaptive SSSP run
+// through barrier checkpoints on every backend: a run restored from any
+// checkpoint — including one taken immediately before a direction
+// switch — must re-derive the same per-superstep directions and finish
+// with the push-oracle distances.
+func TestBackendParityAdaptiveResume(t *testing.T) {
+	// The road graph's uniform low degree makes the adaptive heuristic
+	// switch several times (pull at the dense wavefront, push at the
+	// sparse tails); on the rmat graph every late frontier still holds a
+	// hub, so it never leaves pull and would prove nothing here.
+	g := backendParityGraphs()["road"]
+	cfg := core.Config{
+		Combiner: core.CombinerAtomic, Threads: 4,
+		Shards: 4, WorkStealing: true,
+		Direction: core.DirectionAdaptive, CheckInvariants: true,
+	}
+	prog := SSSPProgram(2)
+	for _, v := range backendVariants(t, "road", g) {
+		saved := map[int]*bytes.Buffer{}
+		e, err := core.New(v.g, cfg, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		err = e.SetCheckpointer(core.Checkpointer[uint32, uint32]{
+			Every:  1,
+			Sink:   func(step int) (io.Writer, error) { buf := &bytes.Buffer{}; saved[step] = buf; return buf, nil },
+			VCodec: pregelplus.Uint32Codec{},
+			MCodec: pregelplus.Uint32Codec{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: full run: %v", v.name, err)
+		}
+		want := e.ValuesDense()
+		switched := false
+		for _, s := range full.Steps {
+			switched = switched || s.DirectionSwitched
+		}
+		if !switched {
+			t.Fatalf("%s: adaptive SSSP never switched; resume would prove nothing\n%v", v.name, full.Table())
+		}
+		for step, buf := range saved {
+			restored, err := core.Restore(bytes.NewReader(buf.Bytes()), v.g, cfg, prog,
+				pregelplus.Uint32Codec{}, pregelplus.Uint32Codec{})
+			if err != nil {
+				t.Fatalf("%s: restore at %d: %v", v.name, step, err)
+			}
+			rep, err := restored.Run()
+			if err != nil {
+				t.Fatalf("%s: resume from %d: %v", v.name, step, err)
+			}
+			for j, s := range rep.Steps {
+				abs := rep.FirstSuperstep + j
+				if abs >= len(full.Steps) {
+					break
+				}
+				if s.Direction != full.Steps[abs].Direction {
+					t.Fatalf("%s: resume from %d: superstep %d ran %v, original ran %v",
+						v.name, step, abs, s.Direction, full.Steps[abs].Direction)
+				}
+			}
+			for i, d := range restored.ValuesDense() {
+				if d != want[i] {
+					t.Fatalf("%s: resume from %d: dist[%d] = %d, want %d", v.name, step, i, d, want[i])
 				}
 			}
 		}

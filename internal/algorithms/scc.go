@@ -51,7 +51,10 @@ func SCC(g *graph.Graph, cfg core.Config) ([]uint32, error) {
 
 	// trim removes trivial SCCs: vertices whose unassigned in- or
 	// out-neighbourhood is empty cannot lie on a cycle with unassigned
-	// vertices.
+	// vertices. The neighbour walks go through the backend-agnostic
+	// iterator buffers so trimming works on compressed and mmap graphs
+	// too (two buffers: the in-walk must survive the nested out-walk).
+	var inBuf, outBuf graph.NeighborBuf
 	trim := func() {
 		for changed := true; changed; {
 			changed = false
@@ -60,14 +63,14 @@ func SCC(g *graph.Graph, cfg core.Config) ([]uint32, error) {
 					continue
 				}
 				liveIn, liveOut := false, false
-				for _, u := range g.InNeighbors(i) {
+				for _, u := range g.InNeighborsWith(&inBuf, i) {
 					if !assigned(int(u)) && int(u) != i {
 						liveIn = true
 						break
 					}
 				}
 				if liveIn {
-					for _, u := range g.OutNeighbors(i) {
+					for _, u := range g.OutNeighborsWith(&outBuf, i) {
 						if !assigned(int(u)) && int(u) != i {
 							liveOut = true
 							break
@@ -225,6 +228,10 @@ func RefSCC(g *graph.Graph) []uint32 {
 		ei int
 	}
 	var call []frame
+	// The adjacency is re-fetched into nbuf at the top of every loop
+	// resumption and never held across a frame push, so one shared buffer
+	// suffices — and the oracle runs on compressed graphs too.
+	var nbuf graph.NeighborBuf
 	for s := 0; s < n; s++ {
 		if index[s] != -1 {
 			continue
@@ -237,7 +244,7 @@ func RefSCC(g *graph.Graph) []uint32 {
 		onStack[s] = true
 		for len(call) > 0 {
 			f := &call[len(call)-1]
-			adj := g.OutNeighbors(int(f.v))
+			adj := g.OutNeighborsWith(&nbuf, int(f.v))
 			advanced := false
 			for f.ei < len(adj) {
 				w := int32(adj[f.ei])

@@ -85,7 +85,6 @@ func (pass *Pass) reportCrossPackageSend(pos token.Pos, f *types.Func, visited m
 	}
 }
 
-
 func (pass *Pass) scanCombinerBody(node ast.Node, body *ast.BlockStmt, visited map[any]bool) {
 	if visited[node] {
 		return

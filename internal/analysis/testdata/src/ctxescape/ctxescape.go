@@ -22,7 +22,7 @@ func compute(ctx *core.Context[int, int32], v core.Vertex[int, int32]) {
 
 	escapedCtx = ctx // want `stored into package variable escapedCtx`
 
-	_ = holder{ctx: ctx} // want `stored into a composite literal`
+	_ = holder{ctx: ctx}             // want `stored into a composite literal`
 	_ = []core.Vertex[int, int32]{v} // want `stored into a composite literal`
 
 	ctxChan <- ctx // want `sent on a channel`

@@ -70,6 +70,10 @@ type Options struct {
 	// (graphio.OpenMapped). Call Close when done with an Options whose
 	// Backend is "mmap" to release the mappings.
 	Backend string
+	// Direction applies core.Config.Direction to every iPregel engine the
+	// experiments build (push when zero); the direction experiment runs
+	// its own push/pull/adaptive sweep regardless.
+	Direction core.Direction
 
 	cache   map[string]*graph.Graph
 	mapped  []*graphio.Mapped
@@ -191,6 +195,12 @@ func (o *Options) engineConfig(cfg core.Config) core.Config {
 		cfg.OverlapDelivery = o.Overlap
 		cfg.WorkStealing = o.Steal
 	}
+	// The legacy pull combiner IS a direction; overriding it with the
+	// engine-level Direction would construct-error, so only the push
+	// combiners take the sweep-wide override.
+	if o.Direction != core.DirectionPush && cfg.Combiner != core.CombinerPull {
+		cfg.Direction = o.Direction
+	}
 	cfg.Observers = append(cfg.Observers, o.Observers...)
 	return cfg
 }
@@ -274,10 +284,16 @@ func bestVersionFor(app appSpec) core.Config {
 // repetition so collector pauses triggered by the previous repetition's
 // garbage do not land inside the next measurement.
 func measureIP(o *Options, app appSpec, g *graph.Graph, cfg core.Config) (stats.Measurement, error) {
+	return measureIPFunc(o, func() (core.Report, error) { return app.runIP(o, g, cfg) })
+}
+
+// measureIPFunc runs an arbitrary engine invocation under the
+// measurement protocol (superstep time only, like the paper §7.1.2).
+func measureIPFunc(o *Options, run func() (core.Report, error)) (stats.Measurement, error) {
 	var runErr error
 	m := stats.RunUntilStable(o.Protocol, func() time.Duration {
 		runtime.GC()
-		rep, err := app.runIP(o, g, cfg)
+		rep, err := run()
 		if err != nil {
 			runErr = err
 			return 0

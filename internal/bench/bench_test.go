@@ -28,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-addressing", "ablation-schedule", "ablation-combiner",
 		"ablation-combiner-schedule", "ablation-balance",
 		"ablation-mirroring", "shm-baseline", "active-curves",
+		"direction",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

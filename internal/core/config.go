@@ -75,6 +75,59 @@ func ParseCombiner(s string) (Combiner, error) {
 	return 0, fmt.Errorf("core: unknown combiner %q", s)
 }
 
+// Direction selects the transport of a superstep's sends: push delivers
+// at send time into the recipients' mailboxes, pull buffers one outbox
+// entry per broadcasting vertex and fans out at the end-of-superstep
+// collect phase. Historically the choice was welded to the Combiner enum
+// (CombinerPull = all-pull); Direction makes it a per-run — and, with
+// DirectionAdaptive, per-superstep — engine decision layered over any
+// inbox combiner (the follow-up iPregel work on extreme irregularity,
+// arXiv 2010.01542).
+type Direction int
+
+const (
+	// DirectionPush delivers every send at send time (the default).
+	DirectionPush Direction = iota
+	// DirectionPull runs every superstep through the outbox/collect
+	// transport. Requires in-edges and a broadcast-only program.
+	DirectionPull
+	// DirectionAdaptive picks the transport per superstep from the exact
+	// frontier density: pull when the upcoming frontier's out-edges reach
+	// DirectionThreshold·|E|, push otherwise (Beamer-style switching).
+	DirectionAdaptive
+)
+
+var directionNames = map[Direction]string{
+	DirectionPush:     "push",
+	DirectionPull:     "pull",
+	DirectionAdaptive: "adaptive",
+}
+
+func (d Direction) String() string {
+	if s, ok := directionNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// ParseDirection converts "push", "pull", or "adaptive" to a Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(s) {
+	case "push", "":
+		return DirectionPush, nil
+	case "pull":
+		return DirectionPull, nil
+	case "adaptive":
+		return DirectionAdaptive, nil
+	}
+	return 0, fmt.Errorf("core: unknown direction %q (push | pull | adaptive)", s)
+}
+
+// DefaultDirectionThreshold is the adaptive pull threshold when
+// Config.DirectionThreshold is zero: a superstep goes pull when the
+// upcoming frontier's out-edges reach this fraction of |E|.
+const DefaultDirectionThreshold = 0.05
+
 // Addressing selects the vertex addressing module version (paper §5).
 type Addressing int
 
@@ -176,6 +229,30 @@ func ParseSchedule(s string) (Schedule, error) {
 type Config struct {
 	Combiner   Combiner
 	Addressing Addressing
+	// Direction selects the send transport: push (the zero value), pull,
+	// or adaptive per-superstep switching. Pull and adaptive require the
+	// graph's in-adjacency and a broadcast-only program (Send panics on a
+	// pull superstep), and layer over any inbox combiner — unlike the
+	// deprecated CombinerPull alias, they work under sharding: each
+	// vertex writes only its own outbox segment and the collect phase is
+	// owner-only per destination, so there is nothing to contend on.
+	Direction Direction
+	// DirectionThreshold tunes DirectionAdaptive: a superstep runs pull
+	// when the upcoming frontier's out-edges reach this fraction of |E|.
+	// 0 means DefaultDirectionThreshold; values outside [0, 1] are
+	// rejected at construction.
+	DirectionThreshold float64
+	// HubSplit fans the scatter of high-out-degree vertices out as
+	// multiple subtasks instead of serialising one worker (hub splitting,
+	// arXiv 2010.01542): a push broadcast from a vertex with out-degree
+	// above the cut is deferred and executed in parallel chunks after the
+	// compute phase, through the work-stealing deques when
+	// Config.WorkStealing is set.
+	HubSplit bool
+	// HubDegreeCut overrides the hub-splitting degree cut; 0 derives it
+	// from the graph as the p99.9 of the out-degree distribution.
+	// Negative values are rejected.
+	HubDegreeCut int
 	// SelectionBypass enables the paper's §4 technique: senders enrol
 	// their recipients in the next superstep's work list, skipping the
 	// selection scan entirely. Only valid for applications in which every
@@ -275,6 +352,12 @@ type Config struct {
 // "spinlock+bypass" or "broadcast".
 func (c Config) VersionName() string {
 	name := c.Combiner.String()
+	if c.Direction != DirectionPush {
+		name += "+" + c.Direction.String()
+	}
+	if c.HubSplit {
+		name += "+hubsplit"
+	}
 	if c.SenderCombining {
 		name += "+combining"
 	}

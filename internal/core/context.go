@@ -98,6 +98,22 @@ type Context[V, M any] struct {
 	activated []int64
 	halted    []int64
 
+	// Hybrid-direction counters (Config.Direction != DirectionPush on a
+	// sharded engine): pulled counts this worker's collect-phase deposits
+	// per destination shard (pull deliveries bypass the routers, so the
+	// shard-skip decision needs its own tally), pulledCross those whose
+	// source vertex lives in another shard.
+	pulled      []uint64
+	pulledCross uint64
+
+	// Pending hub broadcasts (Config.HubSplit): parallel slot/message
+	// lists appended during compute, chunked and executed by
+	// hubScatterPhase. hubTasks counts the chunks this worker executed
+	// (StepStats.HubSplitTasks).
+	hubSlots []int32
+	hubMsgs  []M
+	hubTasks int64
+
 	// nbuf is this worker's decode buffer for the compressed graph
 	// backend: the scatter loop and the pull collect phase decode
 	// neighbour lists into it instead of sharing a CSR slice. On the
@@ -126,10 +142,16 @@ func (c *Context[V, M]) NextMessage(v Vertex[V, M], m *M) bool {
 }
 
 // Send delivers msg to the vertex with external identifier dst
-// (IP_send_message). It is unavailable with the pull combiner, whose
-// contract is broadcast-only communication (§6.2).
+// (IP_send_message). It is unavailable on pull-direction supersteps
+// (the legacy pull combiner, Config.Direction pull, and the pull steps
+// of adaptive runs), whose contract is broadcast-only communication
+// (§6.2) — an adaptive run must therefore be broadcast-only throughout,
+// or its push and pull supersteps would not be equivalent.
 func (c *Context[V, M]) Send(dst graph.VertexID, msg M) {
 	e := c.e
+	if e.hybridPull() {
+		panic("core: IP_send_message is not available on a pull-direction superstep (Config.Direction); pull transport is broadcast-only (§6.2)")
+	}
 	slot := e.addr.locate(dst)
 	if slot < 0 || slot >= e.slots || (e.shift > 0 && slot < e.shift) {
 		panic(fmt.Sprintf("core: message sent to unknown vertex %d", dst))
@@ -184,6 +206,33 @@ func (c *Context[V, M]) Broadcast(v Vertex[V, M], msg M) {
 		}
 		return
 	}
+	if e.hybridPull() {
+		// Hybrid pull superstep: buffer once in the vertex-owned outbox
+		// slot; the collect phase fans out to the out-neighbours' inboxes.
+		// Messages counts the logical fan-out (unlike the legacy pull
+		// mailbox's one-per-broadcast), so push, pull and adaptive runs of
+		// the same program stay Fingerprint-comparable — and the collect
+		// deposits conserve it exactly.
+		e.pullOut[slot] = msg
+		e.pullFlag[slot] = 1
+		c.msgs += uint64(e.g.OutDegree(idx))
+		if e.cfg.SelectionBypass {
+			for _, nb := range e.g.OutNeighborsWith(&c.nbuf, idx) {
+				c.enroll(int(nb) + e.shift)
+			}
+		}
+		return
+	}
+	if e.hubCut > 0 {
+		if deg := e.g.OutDegree(idx); deg > e.hubCut {
+			// Hub splitting: defer the scatter; hubScatterPhase fans it
+			// out as parallel chunks after the compute barrier (hub.go).
+			c.hubSlots = append(c.hubSlots, v.slot)
+			c.hubMsgs = append(c.hubMsgs, msg)
+			c.msgs += uint64(deg)
+			return
+		}
+	}
 	base := e.g.Base()
 	for _, nb := range e.g.OutNeighborsWith(&c.nbuf, idx) {
 		// Route through the addressing module like any identifier-addressed
@@ -232,6 +281,11 @@ func (c *Context[V, M]) resetSuperstep() {
 	c.msgs, c.ran, c.votes = 0, 0, 0
 	c.stolen = 0
 	c.frontierBuf = c.frontierBuf[:0]
+	clear(c.pulled)
+	c.pulledCross = 0
+	c.hubSlots = c.hubSlots[:0]
+	c.hubMsgs = c.hubMsgs[:0]
+	c.hubTasks = 0
 	if c.cache != nil {
 		c.cache.combined = 0
 	}

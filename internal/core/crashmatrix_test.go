@@ -332,6 +332,73 @@ func TestCrashMatrixShardedCompressed(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixAdaptiveDirection repeats the kill-anywhere sweep on
+// adaptive-direction engines: a crash at every barrier — including the
+// barriers straddling a push↔pull switch — must recover to the exact
+// values of the uninterrupted run, and the recovered tail must re-derive
+// the same per-superstep direction decisions from the restored state.
+func TestCrashMatrixAdaptiveDirection(t *testing.T) {
+	g := crashGrid(t)
+	prog := algorithms.SSSPProgram(1)
+	// The default 5%% threshold puts the cut at 6 out-edges, which the
+	// grid's SSSP wavefront never drops below after superstep 0; a 10%%
+	// cut (12 edges) makes the run open pull, fall to push on the narrow
+	// early wavefront, pull again at the broad middle and finish push —
+	// several real switches for the kill-anywhere sweep to straddle.
+	configs := []core.Config{
+		{Combiner: core.CombinerSpin, Threads: 2, CheckInvariants: true,
+			Direction: core.DirectionAdaptive, DirectionThreshold: 0.1},
+		{Combiner: core.CombinerAtomic, Threads: 2, CheckInvariants: true,
+			Direction: core.DirectionAdaptive, DirectionThreshold: 0.1, SelectionBypass: true},
+		{Combiner: core.CombinerAtomic, Threads: 2, CheckInvariants: true,
+			Direction: core.DirectionAdaptive, DirectionThreshold: 0.1,
+			Shards: 4, OverlapDelivery: true, WorkStealing: true},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.VersionName(), func(t *testing.T) {
+			t.Parallel()
+			refE, refRep, err := core.Run(g, cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switched := false
+			for _, s := range refRep.Steps {
+				switched = switched || s.DirectionSwitched
+			}
+			if !switched {
+				t.Fatalf("reference adaptive run never switched direction; the sweep would not cross a switch\n%v", refRep.Table())
+			}
+			want := refE.ValuesDense()
+
+			for k := 0; k < refRep.Supersteps; k++ {
+				inj := chaos.New(int64(k), chaos.Event{Fault: chaos.ComputePanic, Superstep: k})
+				e, rep, err := runRecovered(t, g, cfg, prog, pregelplus.Uint32Codec{}, inj, 3)
+				if err != nil {
+					t.Fatalf("panic@%d: %v", k, err)
+				}
+				if rep.Recoveries != 1 || rep.FirstSuperstep != k {
+					t.Fatalf("panic@%d: resumed from barrier %d with %d recoveries", k, rep.FirstSuperstep, rep.Recoveries)
+				}
+				assertTail(t, rep, refRep)
+				for i, s := range rep.Steps {
+					refStep := refRep.Steps[rep.FirstSuperstep+i]
+					if s.Direction != refStep.Direction {
+						t.Fatalf("panic@%d: superstep %d recovered as %v, reference ran %v — direction decision diverged across resume",
+							k, rep.FirstSuperstep+i, s.Direction, refStep.Direction)
+					}
+				}
+				got := e.ValuesDense()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("panic@%d: value[%d] = %d, want %d", k, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestCrashMatrixFaultKinds drives the remaining fault kinds — context
 // cancellation, checkpoint sink failure, a torn checkpoint write, and a
 // committed bit-flipped checkpoint — each at a mid-run barrier, across

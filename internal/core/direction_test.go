@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"ipregel/internal/graph"
+)
+
+func TestParseDirection(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Direction
+	}{
+		{"", DirectionPush},
+		{"push", DirectionPush},
+		{"pull", DirectionPull},
+		{"adaptive", DirectionAdaptive},
+	}
+	for _, tc := range cases {
+		got, err := ParseDirection(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseDirection(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseDirection("sideways"); err == nil || !strings.Contains(err.Error(), "unknown direction") {
+		t.Fatalf("ParseDirection(sideways) err = %v, want unknown-direction error", err)
+	}
+	for _, d := range []Direction{DirectionPush, DirectionPull, DirectionAdaptive} {
+		if rt, err := ParseDirection(d.String()); err != nil || rt != d {
+			t.Fatalf("round-trip %v -> %q -> %v, %v", d, d.String(), rt, err)
+		}
+	}
+}
+
+func TestVersionNameDirection(t *testing.T) {
+	if name := (Config{Direction: DirectionAdaptive}).VersionName(); !strings.Contains(name, "adaptive") {
+		t.Fatalf("VersionName %q does not name the adaptive direction", name)
+	}
+	if name := (Config{Direction: DirectionPull}).VersionName(); !strings.Contains(name, "pull") {
+		t.Fatalf("VersionName %q does not name the pull direction", name)
+	}
+	if name := (Config{HubSplit: true}).VersionName(); !strings.Contains(name, "hubsplit") {
+		t.Fatalf("VersionName %q does not name hub splitting", name)
+	}
+	if name := (Config{}).VersionName(); strings.Contains(name, "push") {
+		t.Fatalf("default VersionName %q should not name a direction", name)
+	}
+}
+
+// hubGraph is a skewed directed graph: vertex 0 broadcasts to every
+// other vertex (out-degree n-1, several hubChunkEdges chunks when n is
+// large) while the rest form a ring, so the degree distribution has the
+// extreme tail hub splitting targets.
+func hubGraph(n int) *graph.Graph {
+	var b graph.Builder
+	b.BuildInEdges()
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i%(n-1))+1))
+	}
+	b.AddEdge(graph.VertexID(n-1), 0)
+	return b.MustBuild()
+}
+
+// TestDirectionParity pins the tentpole oracle at the engine level:
+// push-only, pull-only and adaptive runs of the same broadcast-only
+// program produce identical values and identical Report fingerprints,
+// across sharding, scheduling and bypass configurations, with the
+// invariant audits (including message conservation on the hybrid pull
+// path) enabled throughout.
+func TestDirectionParity(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfgs := []Config{
+		{Combiner: CombinerSpin, Threads: 3},
+		{Combiner: CombinerAtomic, Threads: 4},
+		{Combiner: CombinerSpin, Threads: 4, SelectionBypass: true},
+		{Combiner: CombinerAtomic, Threads: 4, Shards: 4},
+		{Combiner: CombinerSpin, Threads: 4, Shards: 4, SelectionBypass: true},
+		{Combiner: CombinerSpin, Threads: 4, Shards: 4, OverlapDelivery: true, WorkStealing: true},
+		{Combiner: CombinerSpin, Threads: 4, Shards: 4, OverlapDelivery: true, WorkStealing: true, SelectionBypass: true},
+	}
+	for _, base := range cfgs {
+		base.CheckInvariants = true
+		pushCfg := base
+		pushCfg.Direction = DirectionPush
+		ePush, repPush, err := Run(g, pushCfg, ssspProg(1))
+		if err != nil {
+			t.Fatalf("%s push: %v", base.VersionName(), err)
+		}
+		want := ePush.ValuesDense()
+		for _, dir := range []Direction{DirectionPull, DirectionAdaptive} {
+			cfg := base
+			cfg.Direction = dir
+			t.Run(cfg.VersionName(), func(t *testing.T) {
+				e, rep, err := Run(g, cfg, ssspProg(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fp, fpPush := rep.Fingerprint(), repPush.Fingerprint(); fp != fpPush {
+					t.Fatalf("fingerprint diverged from push run:\n--- push ---\n%s--- %v ---\n%s", fpPush, dir, fp)
+				}
+				for i, v := range e.ValuesDense() {
+					if v != want[i] {
+						t.Fatalf("dist[%d] = %d, want %d", i, v, want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveSwitches checks the density heuristic actually changes
+// direction mid-run: superstep 0 runs every vertex (frontier density
+// |E| >= threshold·|E|), so an adaptive run opens with a pull superstep,
+// and SSSP's narrow early frontier forces a switch to push.
+func TestAdaptiveSwitches(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg := Config{Combiner: CombinerSpin, Threads: 3, Direction: DirectionAdaptive, CheckInvariants: true}
+	_, rep, err := Run(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) < 2 {
+		t.Fatalf("run too short to switch: %d steps", len(rep.Steps))
+	}
+	if rep.Steps[0].Direction != DirectionPull {
+		t.Fatalf("superstep 0 direction = %v, want pull (all vertices active)", rep.Steps[0].Direction)
+	}
+	switches := 0
+	sawPush := false
+	for i, s := range rep.Steps {
+		if s.Direction == DirectionPush {
+			sawPush = true
+		}
+		if s.DirectionSwitched {
+			switches++
+			if i == 0 {
+				t.Fatal("first superstep marked as a switch")
+			}
+			if rep.Steps[i-1].Direction == s.Direction {
+				t.Fatalf("step %d marked switched but direction %v equals step %d's", i, s.Direction, i-1)
+			}
+		}
+	}
+	if !sawPush || switches == 0 {
+		t.Fatalf("adaptive SSSP never switched (push seen: %v, switches: %d)\n%v", sawPush, switches, rep.Table())
+	}
+}
+
+// TestDeprecatedCombinerPullSharded runs the deprecated alias on a
+// sharded engine — the combination New used to reject — and checks it
+// matches the push oracle.
+func TestDeprecatedCombinerPullSharded(t *testing.T) {
+	g := gridForCheckpoint(t)
+	ePush, repPush, err := Run(g, Config{Combiner: CombinerSpin, Threads: 3, CheckInvariants: true}, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, rep, err := Run(g, Config{Combiner: CombinerPull, Shards: 3, Threads: 3, CheckInvariants: true}, ssspProg(1))
+	if err != nil {
+		t.Fatalf("CombinerPull × Shards=3: %v", err)
+	}
+	if rep.Fingerprint() != repPush.Fingerprint() {
+		t.Fatalf("fingerprint diverged:\n--- push ---\n%s--- alias ---\n%s", repPush.Fingerprint(), rep.Fingerprint())
+	}
+	want := ePush.ValuesDense()
+	for i, v := range e.ValuesDense() {
+		if v != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+// TestHubSplitParity checks hub splitting is semantically invisible
+// (identical values and fingerprints with it on or off) while actually
+// fanning out chunked subtasks on a skewed graph.
+func TestHubSplitParity(t *testing.T) {
+	g := hubGraph(3000)
+	prog := ssspProg(0)
+	cfgs := []Config{
+		{Combiner: CombinerSpin, Threads: 4},
+		{Combiner: CombinerSpin, Threads: 4, SelectionBypass: true},
+		{Combiner: CombinerAtomic, Threads: 4, Shards: 4},
+		{Combiner: CombinerSpin, Threads: 4, Shards: 4, WorkStealing: true},
+	}
+	for _, base := range cfgs {
+		base.CheckInvariants = true
+		t.Run(base.VersionName(), func(t *testing.T) {
+			ePlain, repPlain, err := Run(g, base, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.HubSplit = true
+			eHub, repHub, err := Run(g, cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repHub.Fingerprint() != repPlain.Fingerprint() {
+				t.Fatalf("fingerprint diverged:\n--- plain ---\n%s--- hubsplit ---\n%s", repPlain.Fingerprint(), repHub.Fingerprint())
+			}
+			want := ePlain.ValuesDense()
+			for i, v := range eHub.ValuesDense() {
+				if v != want[i] {
+					t.Fatalf("dist[%d] = %d, want %d", i, v, want[i])
+				}
+			}
+			var tasks int64
+			for _, s := range repHub.Steps {
+				tasks += s.HubSplitTasks
+			}
+			// Vertex 0 broadcasts once; out-degree 2999 > any sane p99.9
+			// cut on this graph, chunked at 1024 edges = 3 subtasks.
+			if tasks < 3 {
+				t.Fatalf("HubSplitTasks = %d, want >= 3 (the hub's scatter must have been chunked)", tasks)
+			}
+		})
+	}
+}
+
+// TestHubSplitExplicitCut checks Config.HubDegreeCut overrides the
+// quantile default.
+func TestHubSplitExplicitCut(t *testing.T) {
+	g := ringGraph(16, 0) // uniform degree 1: the default p99.9 cut is 1, no hubs
+	cfg := Config{HubSplit: true, HubDegreeCut: 0, CheckInvariants: true}
+	_, rep, err := Run(g, cfg, counterProgram(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Steps {
+		if s.HubSplitTasks != 0 {
+			t.Fatalf("uniform ring produced %d hub tasks, want 0", s.HubSplitTasks)
+		}
+	}
+}
+
+// TestSendPanicsOnPullSuperstep pins the broadcast-only contract of
+// hybrid pull supersteps: identifier-addressed sends have no pull
+// equivalent, so Send must fail loudly instead of silently losing mail.
+func TestSendPanicsOnPullSuperstep(t *testing.T) {
+	g := ringGraph(8, 0)
+	prog := Program[uint32, uint32]{
+		Combine: func(old *uint32, new uint32) { *old += new },
+		Compute: func(ctx *Context[uint32, uint32], v Vertex[uint32, uint32]) {
+			ctx.Send(v.ID(), 1)
+			ctx.VoteToHalt(v)
+		},
+	}
+	_, rep, err := Run(g, Config{Direction: DirectionPull, CheckInvariants: true}, prog)
+	if err == nil || !strings.Contains(err.Error(), "broadcast-only") {
+		t.Fatalf("Send on a pull superstep: err = %v, want broadcast-only panic", err)
+	}
+	if !rep.Aborted {
+		t.Fatal("report not marked aborted")
+	}
+}
+
+// TestAdaptiveRestoreAcrossSwitch is the crash/resume determinism pin:
+// an engine restored from any barrier checkpoint of an adaptive run must
+// re-derive the same per-superstep directions from the restored state —
+// including resuming directly across a direction switch — and finish
+// with the same values.
+func TestAdaptiveRestoreAcrossSwitch(t *testing.T) {
+	g := gridForCheckpoint(t)
+	cfg := Config{Combiner: CombinerSpin, Threads: 3, Direction: DirectionAdaptive, CheckInvariants: true}
+	saved := map[int]*bytes.Buffer{}
+	e, err := New(g, cfg, ssspProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.SetCheckpointer(Checkpointer[uint32, uint32]{
+		Every:  1,
+		Sink:   func(step int) (io.Writer, error) { buf := &bytes.Buffer{}; saved[step] = buf; return buf, nil },
+		VCodec: u32Codec{},
+		MCodec: u32Codec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.ValuesDense()
+	switched := false
+	for _, s := range full.Steps {
+		switched = switched || s.DirectionSwitched
+	}
+	if !switched {
+		t.Fatal("adaptive run never switched; the restore test would prove nothing")
+	}
+	if len(saved) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	for step, buf := range saved {
+		restored, err := Restore(bytes.NewReader(buf.Bytes()), g, cfg, ssspProg(1), u32Codec{}, u32Codec{})
+		if err != nil {
+			t.Fatalf("restore at %d: %v", step, err)
+		}
+		rep, err := restored.Run()
+		if err != nil {
+			t.Fatalf("resumed run from %d: %v", step, err)
+		}
+		for j, s := range rep.Steps {
+			abs := rep.FirstSuperstep + j
+			if abs >= len(full.Steps) {
+				break
+			}
+			if s.Direction != full.Steps[abs].Direction {
+				t.Fatalf("resume from %d: superstep %d ran %v, original ran %v — direction decisions diverged across restore",
+					step, abs, s.Direction, full.Steps[abs].Direction)
+			}
+		}
+		for i, v := range restored.ValuesDense() {
+			if v != want[i] {
+				t.Fatalf("resume from %d: dist[%d] = %d, want %d", step, i, v, want[i])
+			}
+		}
+	}
+}

@@ -79,6 +79,32 @@ type Engine[V, M any] struct {
 	drainer *shardDrainer[M]
 	stealQs []stealQueue
 
+	// Hybrid direction state (Config.Direction != DirectionPush; see
+	// direction.go). pullOut/pullFlag are the global-slot-indexed outbox
+	// arrays serving every pull superstep without reallocating: each
+	// shard's vertices write only their own (disjoint) slot segment, so
+	// the outboxes are shard-aware by construction. curDir is the running
+	// superstep's transport; frontierEdges the out-edge count of the
+	// upcoming frontier (adaptive); pullEdgeCut the switch threshold in
+	// edges. dirSums is countFrontierEdges' per-worker scratch.
+	pullOut     []M
+	pullFlag    []uint8
+	curDir      Direction
+	lastDir     Direction
+	haveLastDir bool
+	dirSwitched bool
+
+	frontierEdges uint64
+	pullEdgeCut   uint64
+	dirSums       []uint64
+
+	// hubCut is the out-degree above which a push broadcast's scatter is
+	// deferred and fanned out as parallel subtasks (Config.HubSplit);
+	// 0 disables splitting. hubTaskBuf is hubScatterPhase's reusable
+	// task list.
+	hubCut     int
+	hubTaskBuf []hubTask
+
 	workers    []*Context[V, M]
 	agg        *aggregators
 	busy       []time.Duration // per-worker busy time this superstep (TrackWorkerTime)
@@ -121,20 +147,37 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 	if prog.Combine == nil {
 		return nil, errors.New("core: Program.Combine is required")
 	}
-	if cfg.Combiner == CombinerPull && !g.HasInEdges() {
-		return nil, fmt.Errorf("core: the pull combiner fetches from in-neighbours (paper §6.2); load the graph with in-edges")
+	if cfg.Direction < DirectionPush || cfg.Direction > DirectionAdaptive {
+		return nil, fmt.Errorf("core: unknown direction %s", cfg.Direction)
+	}
+	if cfg.Combiner == CombinerPull && cfg.Direction != DirectionPush {
+		return nil, fmt.Errorf("core: CombinerPull is the deprecated all-pull alias; set Config.Direction (pull or adaptive) on an inbox combiner (mutex/spinlock/atomic) instead of combining both")
+	}
+	if cfg.Combiner == CombinerPull && cfg.shardCount() > 1 {
+		// Deprecated-alias compatibility: the legacy pull mailbox is
+		// single-shard only, but the request is expressible in the
+		// Direction model — per-shard inboxes with every superstep pull.
+		// Normalise rather than reject (lifting the former restriction).
+		cfg.Combiner = CombinerSpin
+		cfg.Direction = DirectionPull
+	}
+	if (cfg.Combiner == CombinerPull || cfg.Direction != DirectionPush) && !g.HasInEdges() {
+		return nil, fmt.Errorf("core: pull-direction supersteps fetch from in-neighbours (paper §6.2); load the graph with in-edges (Config.Direction pull/adaptive, or the deprecated CombinerPull alias)")
 	}
 	if cfg.SelectionBypass && !g.HasOutAdjacency() {
 		return nil, fmt.Errorf("core: selection bypass enrols out-neighbours (paper §4) and needs the out-adjacency, which this graph stripped")
 	}
-	if cfg.SenderCombining && cfg.Combiner == CombinerPull {
-		return nil, fmt.Errorf("core: sender-side combining pre-combines push deliveries; the pull combiner's outboxes are already contention-free (§6.2)")
+	if cfg.SenderCombining && (cfg.Combiner == CombinerPull || cfg.Direction == DirectionPull) {
+		return nil, fmt.Errorf("core: sender-side combining pre-combines push deliveries; an all-pull run (Config.Direction pull, or the deprecated CombinerPull alias) has none — its outboxes are already contention-free (§6.2)")
+	}
+	if cfg.DirectionThreshold < 0 || cfg.DirectionThreshold > 1 {
+		return nil, fmt.Errorf("core: Config.DirectionThreshold is a fraction of |E| and must be in [0, 1] (0 means the default %v), got %v", DefaultDirectionThreshold, cfg.DirectionThreshold)
+	}
+	if cfg.HubDegreeCut < 0 {
+		return nil, fmt.Errorf("core: Config.HubDegreeCut must be non-negative (0 derives the p99.9 out-degree), got %d", cfg.HubDegreeCut)
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("core: Config.Shards must be non-negative (0 means 1), got %d", cfg.Shards)
-	}
-	if cfg.Shards > 1 && cfg.Combiner == CombinerPull {
-		return nil, fmt.Errorf("core: sharding batches push deliveries per destination shard; the pull combiner's outboxes are already contention-free (§6.2)")
 	}
 	if cfg.OverlapDelivery && cfg.Shards <= 1 {
 		return nil, fmt.Errorf("core: Config.OverlapDelivery overlaps cross-shard delivery with compute and requires Shards > 1")
@@ -217,6 +260,38 @@ func New[V, M any](g *graph.Graph, cfg Config, prog Program[V, M]) (*Engine[V, M
 			e.workers[w].cache = newSenderCache[M](prog.Combine)
 		}
 	}
+	if cfg.Direction != DirectionPush {
+		e.pullOut = make([]M, e.slots)
+		e.pullFlag = make([]uint8, e.slots)
+		if e.nShards > 1 {
+			// Pull deliveries bypass the routing layer (the collect phase
+			// deposits owner-locally), so shard-skipping needs its own
+			// per-worker delivery counters to keep runnable exact.
+			for _, w := range e.workers {
+				w.pulled = make([]uint64, e.nShards)
+			}
+		}
+		if cfg.Direction == DirectionAdaptive {
+			thr := cfg.DirectionThreshold
+			if thr == 0 {
+				thr = DefaultDirectionThreshold
+			}
+			e.pullEdgeCut = uint64(thr * float64(g.M()))
+			if e.pullEdgeCut == 0 {
+				e.pullEdgeCut = 1 // an empty frontier never forces pull
+			}
+		}
+	}
+	if cfg.HubSplit {
+		cut := cfg.HubDegreeCut
+		if cut == 0 {
+			cut = graph.OutDegreeQuantile(g, 0.999)
+		}
+		if cut < 1 {
+			cut = 1
+		}
+		e.hubCut = cut
+	}
 	e.agg = newAggregators(e.threads)
 	if cfg.TrackWorkerTime {
 		e.busy = make([]time.Duration, e.threads)
@@ -269,6 +344,10 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		// engine, the restored flags/mailboxes for a resumed one.
 		e.initShardActivity()
 	}
+	// Seed the adaptive direction decision the same way: the density is
+	// recomputed from current engine state, so a Restored run re-derives
+	// exactly the per-superstep choices the original made at this barrier.
+	e.reseedFrontierDensity()
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -277,6 +356,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		if e.cfg.MaxSupersteps > 0 && e.superstep >= e.cfg.MaxSupersteps {
 			return e.finishRun(start, fmt.Errorf("%w (%d)", ErrMaxSupersteps, e.cfg.MaxSupersteps))
 		}
+		e.beginSuperstepDirection()
 		stepStart := time.Now()
 		e.observeSuperstepStart(e.superstep)
 		for _, w := range e.workers {
@@ -288,6 +368,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 
 		var ranTotal int64
 		region(ctx, "ipregel.compute", func() { ranTotal = e.computePhase() })
+		if e.hubCut > 0 {
+			// Deferred hub scatters run before the router/cache drains so
+			// their pushes are flushed by the same barrier machinery.
+			region(ctx, "ipregel.hubscatter", e.hubScatterPhase)
+		}
 		if e.nShards > 1 {
 			region(ctx, "ipregel.route", func() {
 				// Overlap: wait for the in-flight early batches to land
@@ -314,6 +399,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 			region(ctx, "ipregel.collect", func() {
 				e.collectPhase()
 				e.mb.clearOutboxes()
+			})
+		} else if e.hybridPull() {
+			region(ctx, "ipregel.collect", func() {
+				e.collectHybrid()
+				clear(e.pullFlag)
 			})
 		}
 		if e.cfg.CheckInvariants {
@@ -376,6 +466,10 @@ func (e *Engine[V, M]) RunContext(ctx context.Context) (Report, error) {
 		if step.Messages == 0 && activeAfter == 0 {
 			break
 		}
+		// The next superstep's direction decision reads the post-swap
+		// state (current mail, promoted frontier), which a checkpoint of
+		// this barrier captures — so a resumed run re-derives it exactly.
+		e.reseedFrontierDensity()
 		// Checkpoint only barriers the run will continue from: a terminal
 		// (converged) barrier has nothing to resume, and a checkpoint of
 		// it would make a later Restore replay one empty superstep.
@@ -405,12 +499,17 @@ func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial b
 		}
 	}
 	step := StepStats{
-		Ran:           ran,
-		Messages:      msgs,
-		Active:        ran - votes,
-		LocalCombines: localCombines,
-		Duration:      time.Since(stepStart),
-		Partial:       partial,
+		Ran:               ran,
+		Messages:          msgs,
+		Active:            ran - votes,
+		LocalCombines:     localCombines,
+		Duration:          time.Since(stepStart),
+		Partial:           partial,
+		Direction:         e.curDir,
+		DirectionSwitched: e.dirSwitched,
+	}
+	for _, w := range e.workers {
+		step.HubSplitTasks += w.hubTasks
 	}
 	var retries uint64
 	for _, sh := range e.shards {
@@ -438,10 +537,16 @@ func (e *Engine[V, M]) gatherStepStats(stepStart time.Time, ran int64, partial b
 		step.ShardMessages = make([]uint64, e.nShards)
 		step.SkippedShards = e.lastSkipped
 		for _, w := range e.workers {
-			step.CrossShardMessages += w.route.cross
+			step.CrossShardMessages += w.route.cross + w.pulledCross
 			step.EarlyDeliveredBatches += w.route.earlyBatches
 			step.StolenTasks += w.stolen
 			for d, n := range w.route.sent {
+				step.ShardMessages[d] += n
+			}
+			// Pull-superstep deliveries bypass the routers; the collect
+			// phase counts them per destination shard so the shard-skip
+			// decision (updateShardActivity) stays exact.
+			for d, n := range w.pulled {
 				step.ShardMessages[d] += n
 			}
 		}
@@ -547,9 +652,11 @@ func (e *Engine[V, M]) runVertex(w, slot int) {
 	e.prog.Compute(ctx, Vertex[V, M]{e: e, slot: int32(slot), shard: 0, local: int32(slot)})
 }
 
-// usesPull reports whether the engine runs the pull combiner. e.mb is nil
-// on sharded engines (each shard owns its own mailbox), and sharding
-// rejects pull at construction, so nil means push.
+// usesPull reports whether the engine runs the LEGACY pull-combiner
+// mailbox (the deprecated CombinerPull alias, single-shard only — under
+// sharding the alias normalises to an inbox combiner with
+// Direction pull, served by the hybrid outboxes instead; see
+// direction.go). e.mb is nil on sharded engines, so nil means push here.
 func (e *Engine[V, M]) usesPull() bool { return e.mb != nil && e.mb.usesPull() }
 
 // collectPhase is the pull combiner's end-of-superstep fetch (§6.2): each
@@ -890,6 +997,10 @@ func (e *Engine[V, M]) FootprintBytes() uint64 {
 		if w.route != nil {
 			b += w.route.footprintBytes()
 		}
+	}
+	if e.pullOut != nil {
+		var m M
+		b += uint64(e.slots) * (uint64(unsafe.Sizeof(m)) + 1) // hybrid outboxes + flags
 	}
 	b += uint64(len(e.edgeCuts)) * 4
 	b += uint64(cap(e.scanSpans)+cap(e.frontierSpanBuf)) * 12

@@ -1,0 +1,120 @@
+package core
+
+// Hub splitting (Config.HubSplit): on skewed graphs a single
+// high-out-degree vertex serialises its worker (and under sharding its
+// whole shard) for the length of one scatter loop. Instead of scattering
+// inline, a push broadcast from a vertex whose out-degree exceeds the
+// cut (default: the p99.9 of the out-degree distribution) is deferred
+// into the worker's pending list and executed after the compute phase as
+// chunked subtasks that any worker can claim — through the work-stealing
+// deques when Config.WorkStealing is on, a shared claim cursor
+// otherwise ("Strategies to Deal with an Extreme Form of Irregularity",
+// arXiv 2010.01542). Deferral is invisible to the superstep's
+// semantics: push deliveries always land in the NEXT buffer, so whether
+// they happen during compute or just after changes nothing the current
+// superstep can observe, and the messages were already counted at
+// Broadcast time.
+
+// hubTask is one chunk of a deferred hub broadcast: pending entry
+// (worker, idx), out-neighbour positions [lo, hi).
+type hubTask struct {
+	worker, idx int32
+	lo, hi      int32
+}
+
+// hubChunkEdges is the subtask grain. Small enough that a p99.9 hub
+// yields several chunks on test-sized graphs, large enough that the
+// per-chunk claim cost is noise against the scatter work.
+const hubChunkEdges = 1024
+
+// hubScatterPhase chunks every worker's pending hub broadcasts and
+// executes the chunks in parallel. Runs between the compute barrier and
+// the router/cache drains: the pushes issued here flow through each
+// executing worker's own routing state and are flushed by the ordinary
+// barrier machinery.
+func (e *Engine[V, M]) hubScatterPhase() {
+	tasks := e.hubTaskBuf[:0]
+	for wi, w := range e.workers {
+		for i, slot := range w.hubSlots {
+			deg := int32(e.g.OutDegree(int(slot) - e.shift))
+			for lo := int32(0); lo < deg; lo += hubChunkEdges {
+				hi := lo + hubChunkEdges
+				if hi > deg {
+					hi = deg
+				}
+				tasks = append(tasks, hubTask{int32(wi), int32(i), lo, hi})
+			}
+		}
+	}
+	e.hubTaskBuf = tasks
+	if len(tasks) == 0 {
+		return
+	}
+	body := func(w int, t hubTask) {
+		src := e.workers[t.worker]
+		slot := int(src.hubSlots[t.idx])
+		msg := src.hubMsgs[t.idx]
+		ctx := e.workers[w]
+		if ctx.route != nil {
+			// Attribute cross-shard traffic to the hub's shard, not to
+			// whatever vertex this worker computed last.
+			d, _ := e.part.locate(slot)
+			ctx.curShard = int32(d)
+		}
+		ctx.hubTasks++
+		base := e.g.Base()
+		nbs := e.g.OutNeighborsWith(&ctx.nbuf, slot-e.shift)
+		for _, nb := range nbs[t.lo:t.hi] {
+			dst := e.addr.locate(base + nb)
+			ctx.push(dst, msg)
+			if e.cfg.SelectionBypass {
+				ctx.enroll(dst)
+			}
+		}
+	}
+	if e.cfg.WorkStealing && e.threads > 1 && len(tasks) > 1 {
+		e.hubScatterStealing(tasks, body)
+		return
+	}
+	e.forSpans(len(tasks), func(w, k int) { body(w, tasks[k]) })
+}
+
+// hubScatterStealing runs the chunk tasks under the PR 6 deque
+// discipline: queues are seeded by the hub's shard (shard s -> worker
+// s mod threads, same affinity as the compute spans), owners pop from
+// the front, and a dry worker steals from the back of its neighbours'
+// queues.
+func (e *Engine[V, M]) hubScatterStealing(tasks []hubTask, body func(w int, t hubTask)) {
+	t := e.threads
+	if e.stealQs == nil {
+		e.stealQs = make([]stealQueue, t)
+	}
+	for i := range e.stealQs {
+		e.stealQs[i].reset()
+	}
+	for k, task := range tasks {
+		src := e.workers[task.worker]
+		d, _ := e.part.locate(int(src.hubSlots[task.idx]))
+		e.stealQs[d%t].push(int32(k))
+	}
+	e.dispatch(t, func(w int) {
+		e.guard(w, func() {
+			ctx := e.workers[w]
+			for {
+				k, ok := e.stealQs[w].popFront()
+				if !ok {
+					for off := 1; off < t; off++ {
+						if k, ok = e.stealQs[(w+off)%t].popBack(); ok {
+							ctx.stolen++
+							break
+						}
+					}
+				}
+				if !ok {
+					return
+				}
+				body(w, tasks[k])
+			}
+		})
+	})
+}

@@ -53,9 +53,15 @@ func (e *Engine[V, M]) auditInvariants() error {
 
 // auditConservation checks that every Send this superstep is accounted
 // for: it was either absorbed by a worker's combining cache, combined into
-// an occupied shared mailbox, or filled an empty one. The pull combiner is
-// exempt — its Messages count buffered broadcasts, whose fan-out happens
-// at collect time and is graph-dependent rather than send-conserving.
+// an occupied shared mailbox, or filled an empty one. The LEGACY pull
+// combiner is exempt — its Messages count buffered broadcasts, whose
+// fan-out happens at collect time and is graph-dependent rather than
+// send-conserving. Hybrid pull supersteps (Config.Direction) are NOT
+// exempt: they count Messages as the logical fan-out (out-degree per
+// broadcast) and the collect phase deposits exactly that many entries
+// through the counted deliver path, so the same formula holds — and
+// additionally pins the broadcast-at-most-once-per-superstep contract
+// the outbox-overwrite semantics require.
 func (e *Engine[V, M]) auditConservation() error {
 	defer func() {
 		for _, sh := range e.shards {

@@ -47,7 +47,35 @@ func TestNewConstructionErrors(t *testing.T) {
 			g:    ringGraph(4, 0).StripInEdges(),
 			cfg:  Config{Combiner: CombinerPull},
 			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
-			want: "pull combiner fetches from in-neighbours",
+			want: "pull-direction supersteps fetch from in-neighbours",
+		},
+		{
+			name: "unknown direction",
+			g:    ringGraph(4, 0),
+			cfg:  Config{Direction: Direction(97)},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "unknown direction",
+		},
+		{
+			name: "CombinerPull with explicit Direction",
+			g:    ringGraph(4, 0).WithInEdges(),
+			cfg:  Config{Combiner: CombinerPull, Direction: DirectionAdaptive},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "CombinerPull is the deprecated all-pull alias",
+		},
+		{
+			name: "direction threshold out of range",
+			g:    ringGraph(4, 0).WithInEdges(),
+			cfg:  Config{Direction: DirectionAdaptive, DirectionThreshold: 1.5},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "DirectionThreshold",
+		},
+		{
+			name: "negative hub degree cut",
+			g:    ringGraph(4, 0),
+			cfg:  Config{HubSplit: true, HubDegreeCut: -3},
+			prog: Program[uint32, uint32]{Compute: okCompute, Combine: okCombine},
+			want: "HubDegreeCut",
 		},
 		{
 			name: "selection bypass without out-adjacency",

@@ -58,6 +58,20 @@ type StepStats struct {
 	// and no delivery last superstep (under selection bypass, an empty
 	// shard frontier). Always 0 on single-shard runs.
 	SkippedShards int64
+	// Direction is the transport this superstep's sends travelled: push
+	// (deliveries at send time) or pull (outbox buffering, collect-phase
+	// fan-out). Fixed for the whole run except under Config.Direction
+	// adaptive, which decides per superstep from the frontier density.
+	Direction Direction
+	// DirectionSwitched marks a superstep whose direction differs from
+	// the previous superstep's — the adaptive switch events
+	// ipregel_direction_switches_total counts. Always false on a run's
+	// first superstep (a resumed run restarts the comparison).
+	DirectionSwitched bool
+	// HubSplitTasks counts the scatter chunks hub splitting fanned out
+	// this superstep (Config.HubSplit); 0 when off or when no broadcast
+	// crossed the degree cut.
+	HubSplitTasks int64
 	// Duration is the wall-clock time of the superstep.
 	Duration time.Duration
 	// WorkerBusy holds each worker's busy time this superstep when
@@ -225,6 +239,10 @@ func (r Report) LoadImbalance() float64 {
 // (Duration, CASRetries, StolenTasks, EarlyDeliveredBatches,
 // LocalCombines, WorkerBusy, SkippedShards, Attempts/Recoveries) are
 // deliberately excluded: they legitimately vary between equivalent runs.
+// Direction/DirectionSwitched/HubSplitTasks are excluded too — they
+// describe HOW a superstep's messages travelled, and the whole point of
+// the direction model is that push-only, pull-only and adaptive runs
+// produce equal fingerprints.
 func (r Report) Fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "first=%d supersteps=%d msgs=%d converged=%v aborted=%v\n",

@@ -54,8 +54,11 @@ func newEngineShard[V, M any](cfg Config, localN int, combine CombineFunc[M]) (*
 		runnable: true,
 	}
 	var err error
-	// Shards are push-only (New rejects pull × shards), so the graph and
-	// shift arguments of the mailbox factory are never consulted.
+	// Shard mailboxes are always inboxes (New normalises the deprecated
+	// CombinerPull alias away under sharding; hybrid pull supersteps use
+	// the engine-level outboxes in direction.go and deposit here through
+	// deliver), so the graph and shift arguments of the mailbox factory
+	// are never consulted.
 	sh.mb, err = newMailbox[M](cfg, localN, combine, nil, 0)
 	if err != nil {
 		return nil, err

@@ -331,8 +331,13 @@ func TestShardConfigValidation(t *testing.T) {
 	if _, err := New(g, Config{Shards: -1}, prog); err == nil || !strings.Contains(err.Error(), "Shards") {
 		t.Fatalf("negative shards: %v", err)
 	}
-	if _, err := New(g, Config{Shards: 2, Combiner: CombinerPull}, prog); err == nil || !strings.Contains(err.Error(), "pull") {
-		t.Fatalf("pull+shards: %v", err)
+	// CombinerPull × shards used to be rejected; the deprecated alias now
+	// normalises to an inbox combiner with Config.Direction pull, so it
+	// must construct (the pull mailbox itself stays single-shard).
+	if e, err := New(g, Config{Shards: 2, Combiner: CombinerPull}, prog); err != nil {
+		t.Fatalf("pull+shards should normalise to Direction pull: %v", err)
+	} else if e.cfg.Direction != DirectionPull || e.cfg.Combiner == CombinerPull {
+		t.Fatalf("pull+shards normalised to combiner=%v direction=%v, want inbox combiner + DirectionPull", e.cfg.Combiner, e.cfg.Direction)
 	}
 	// Overlap and stealing are shard-scheduler features: meaningless (and
 	// rejected) on the flat engine, whether Shards is unset or exactly 1.

@@ -173,12 +173,51 @@ func TestCompressedSliceAccessorsPanic(t *testing.T) {
 	}
 	wantPanic("OutNeighbors", func() { cg.OutNeighbors(0) })
 	wantPanic("InNeighbors", func() { cg.InNeighbors(0) })
-	wantPanic("Transpose", func() { cg.Transpose() })
 	wantPanic("Relabel", func() { cg.Relabel(make([]int, cg.N())) })
 	wg, _ := testGraphs(t)["weighted-150"].Compress()
 	wantPanic("OutEdgesWeighted", func() { wg.OutEdgesWeighted(0) })
+	// Unweighted Transpose is supported on the compressed backend (the two
+	// compressed CSRs swap roles); only the weighted variant still panics,
+	// because weights are edge-ordered against the original out-CSR.
+	wantPanic("Transpose (weighted)", func() { wg.Transpose() })
 	if _, err := cg.StripOutAdjacency(); !errors.Is(err, ErrCompressedAdjacency) {
 		t.Fatalf("StripOutAdjacency err = %v, want ErrCompressedAdjacency", err)
+	}
+}
+
+// TestCompressedTranspose checks that an unweighted compressed graph
+// transposes without decompressing: edge-for-edge equal to the flat
+// transpose, with the in-adjacency swapped in as the new out-CSR.
+func TestCompressedTranspose(t *testing.T) {
+	for _, name := range []string{"random-in", "random-130"} {
+		g := testGraphs(t)[name]
+		if g == nil {
+			t.Fatalf("missing test graph %q", name)
+		}
+		cg, err := g.Compress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := g.Transpose()
+		ct := cg.Transpose()
+		if !ct.IsCompressed() {
+			t.Fatalf("%s: transpose of a compressed graph is flat", name)
+		}
+		if !ct.HasInEdges() {
+			t.Fatalf("%s: compressed transpose lost the in-adjacency", name)
+		}
+		var buf NeighborBuf
+		for i := 0; i < g.N(); i++ {
+			if got, want := ct.OutNeighborsWith(&buf, i), ft.OutNeighbors(i); !equalIDs(got, want) {
+				t.Fatalf("%s: transpose out-neighbours of %d = %v, want %v", name, i, got, want)
+			}
+		}
+		var ibuf NeighborBuf
+		for i := 0; i < g.N(); i++ {
+			if got, want := ct.InNeighborsWith(&ibuf, i), g.OutNeighbors(i); !equalIDs(got, want) {
+				t.Fatalf("%s: transpose in-neighbours of %d = %v, want %v", name, i, got, want)
+			}
+		}
 	}
 }
 

@@ -236,10 +236,21 @@ func validateCSR(kind string, n int, off []uint64, adj []VertexID) error {
 // Transpose returns a new graph with every edge reversed. The result has
 // in-edges materialised if and only if the receiver's out-edges exist
 // (always), i.e. the transpose's out-CSR is the receiver's in-CSR. If the
-// receiver lacks in-edges they are computed.
+// receiver lacks in-edges they are computed. A compressed receiver yields
+// a compressed transpose (the two compressed CSRs simply swap roles);
+// only the weighted-compressed combination is unsupported, as weights are
+// stored edge-ordered against the out-CSR.
 func (g *Graph) Transpose() *Graph {
 	if g.IsCompressed() {
-		panic(ErrCompressedAdjacency)
+		if g.outW != nil {
+			panic(ErrCompressedAdjacency)
+		}
+		inC := g.inC
+		if inC == nil {
+			inOff, inAdj := reverseCompressed(g.outC)
+			inC = compressCSR(g.n, inOff, inAdj)
+		}
+		return &Graph{n: g.n, base: g.base, outC: inC, inC: g.outC}
 	}
 	if g.outW != nil {
 		rOff, rAdj, rW := reverseCSRWeighted(g.n, g.outOff, g.outAdj, g.outW)

@@ -82,6 +82,32 @@ func DegreeHistogram(g *Graph) []int {
 	return hist
 }
 
+// OutDegreeQuantile returns the q-quantile of the out-degree
+// distribution (0 < q <= 1): the smallest degree d such that at least
+// q·N vertices have out-degree <= d. The engine's hub-splitting default
+// cut is the p99.9 (q = 0.999) — vertices above it are the extreme tail
+// a scale-free graph concentrates its edges in. Returns 0 on an empty
+// graph.
+func OutDegreeQuantile(g *Graph, q float64) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	degs := make([]int, n)
+	for i := range degs {
+		degs[i] = g.OutDegree(i)
+	}
+	sort.Ints(degs)
+	k := int(math.Ceil(q * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return degs[k-1]
+}
+
 // GiniOutDegree computes the Gini coefficient of the out-degree
 // distribution — a scale-free RMAT graph scores high (>0.5), a road grid
 // scores near 0. Tests use it to check that the synthetic stand-ins have

@@ -35,6 +35,13 @@ type Params struct {
 	Top int `json:"top,omitempty"`
 	// Vertices requests the result values of these external identifiers.
 	Vertices []uint64 `json:"vertices,omitempty"`
+	// Direction overrides the engine template's per-superstep message
+	// transport for this job: "push", "pull" or "adaptive" (empty = the
+	// template default; every program accepts it). Pull and adaptive
+	// need the graph loaded with in-edges. A value equal to the template
+	// default canonicalises to the empty string so an explicit default
+	// shares its cache key with the omitted field.
+	Direction string `json:"direction,omitempty"`
 }
 
 // Limits bound one job's execution. They never enter the cache key: a

@@ -98,6 +98,34 @@ func rejectUnused(program string, p Params, rounds, source, tolerance, top bool)
 	return nil
 }
 
+// canonDirection validates the cross-program direction param (it picks
+// the engine transport, so every program accepts it and the per-program
+// canon funcs never see it). Canonical form: the empty string when the
+// request matches the engine template's default, so an explicit default
+// shares its cache key with the omitted field.
+func (s *Service) canonDirection(entry *graphEntry, program, raw string) (string, error) {
+	if raw == "" {
+		return "", nil
+	}
+	dir, err := core.ParseDirection(raw)
+	if err != nil {
+		return "", reqErrorf("params.direction: %v", err)
+	}
+	if s.opts.Engine.Combiner == core.CombinerPull {
+		return "", reqErrorf("params.direction: the engine template selects the deprecated all-pull combiner alias; the transport cannot be overridden per job")
+	}
+	if dir == s.opts.Engine.Direction {
+		return "", nil
+	}
+	// WCC runs on the lazily symmetrized graph, which can build in-edges
+	// on demand; every other program runs on the resident graph as
+	// loaded.
+	if dir != core.DirectionPush && program != "wcc" && !entry.g.HasInEdges() {
+		return "", reqErrorf("params.direction %q needs graph %q loaded with in-edges", dir, entry.name)
+	}
+	return dir.String(), nil
+}
+
 func canonTop(top int) (int, error) {
 	if top < 0 {
 		return 0, reqErrorf("params.top must be >= 0")
@@ -200,7 +228,8 @@ func (bfsCodec) Decode(buf []byte) algorithms.BFSState {
 }
 
 // jobConfig derives the job's engine Config from the service template:
-// per-job limits overwrite Threads and MaxSupersteps, the job's
+// per-job limits overwrite Threads and MaxSupersteps, the canonical
+// direction param (if set) overrides the transport, the job's
 // telemetry scope joins the observers, and SelectionBypass is stripped
 // for programs that do not vote to halt every superstep.
 func jobConfig(s *Service, jb *Job) core.Config {
@@ -208,6 +237,11 @@ func jobConfig(s *Service, jb *Job) core.Config {
 	cfg.Threads = jb.limits.Threads
 	cfg.MaxSupersteps = jb.limits.MaxSupersteps
 	cfg.SelectionBypass = cfg.SelectionBypass && jb.spec.bypassOK
+	if jb.params.Direction != "" {
+		if dir, err := core.ParseDirection(jb.params.Direction); err == nil {
+			cfg.Direction = dir
+		}
+	}
 	obs := make([]core.Observer, 0, len(s.opts.Engine.Observers)+1)
 	obs = append(obs, s.opts.Engine.Observers...)
 	obs = append(obs, jb.scope)
@@ -423,6 +457,9 @@ func runHashmin(ctx context.Context, s *Service, jb *Job) (*Result, core.Report,
 }
 
 func runWCC(ctx context.Context, s *Service, jb *Job) (*Result, core.Report, error) {
-	sym := jb.entry.symmetrized(s.opts.Engine.Combiner == core.CombinerPull)
+	needIn := s.opts.Engine.Combiner == core.CombinerPull ||
+		s.opts.Engine.Direction != core.DirectionPush ||
+		jb.params.Direction != ""
+	sym := jb.entry.symmetrized(needIn)
 	return runLabels(ctx, s, jb, sym)
 }

@@ -124,18 +124,25 @@ func reqErrorf(format string, args ...any) error {
 }
 
 // graphEntry is one resident graph. The symmetrized edge set WCC needs
-// is derived lazily, once, and shared by every later WCC job.
+// is derived lazily and shared by every later WCC job.
 type graphEntry struct {
 	name   string
 	g      *graph.Graph
 	origin string
 
-	symOnce sync.Once
-	sym     *graph.Graph
+	symMu sync.Mutex
+	sym   *graph.Graph
 }
 
+// symmetrized returns the shared undirected edge set. A cached copy
+// built without in-edges is upgraded in place the first time a
+// pull-capable job needs them.
 func (e *graphEntry) symmetrized(withInEdges bool) *graph.Graph {
-	e.symOnce.Do(func() { e.sym = e.g.Symmetrize(withInEdges) })
+	e.symMu.Lock()
+	defer e.symMu.Unlock()
+	if e.sym == nil || (withInEdges && !e.sym.HasInEdges()) {
+		e.sym = e.g.Symmetrize(withInEdges)
+	}
 	return e.sym
 }
 
@@ -161,16 +168,16 @@ type Service struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu       sync.Mutex
-	graphs   map[string]*graphEntry
-	jobs     map[string]*Job
-	order    []string // finished job ids, oldest first, for KeepFinished eviction
-	nextID   int64
-	queued   int
-	running  int
-	started  bool
-	closed   bool
-	cache    *resultCache
+	mu      sync.Mutex
+	graphs  map[string]*graphEntry
+	jobs    map[string]*Job
+	order   []string // finished job ids, oldest first, for KeepFinished eviction
+	nextID  int64
+	queued  int
+	running int
+	started bool
+	closed  bool
+	cache   *resultCache
 }
 
 // New builds a Service with opts applied over the defaults. Call Start
@@ -201,8 +208,13 @@ func (s *Service) AddGraph(name string, g *graph.Graph, origin string) error {
 	if g == nil || g.N() == 0 {
 		return fmt.Errorf("service: graph %q is empty", name)
 	}
-	if s.opts.Engine.Combiner == core.CombinerPull && !g.HasInEdges() {
-		return fmt.Errorf("service: graph %q has no in-edges but the engine template selects the pull combiner", name)
+	if !g.HasInEdges() {
+		switch {
+		case s.opts.Engine.Combiner == core.CombinerPull:
+			return fmt.Errorf("service: graph %q has no in-edges but the engine template selects the pull combiner", name)
+		case s.opts.Engine.Direction != core.DirectionPush:
+			return fmt.Errorf("service: graph %q has no in-edges but the engine template's direction is %v", name, s.opts.Engine.Direction)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -278,6 +290,9 @@ func (s *Service) Submit(req JobRequest) (JobView, error) {
 
 	params, err := spec.canon(entry.g, req.Params)
 	if err != nil {
+		return JobView{}, err
+	}
+	if params.Direction, err = s.canonDirection(entry, req.Program, req.Params.Direction); err != nil {
 		return JobView{}, err
 	}
 	limits, deadline, err := s.resolveLimits(req.Limits)

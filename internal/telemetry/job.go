@@ -36,6 +36,8 @@ type JobCollector struct {
 	earlyBatches                     atomic.Uint64
 	stolenTasks                      atomic.Int64
 	skippedShards                    atomic.Int64
+	directionSwitches                atomic.Int64
+	hubSplitTasks                    atomic.Int64
 	verticesRan                      atomic.Int64
 	recoveries                       atomic.Int64
 
@@ -117,6 +119,10 @@ func (j *JobCollector) OnSuperstepEnd(superstep int, s core.StepStats) {
 	j.earlyBatches.Add(s.EarlyDeliveredBatches)
 	j.stolenTasks.Add(s.StolenTasks)
 	j.skippedShards.Add(s.SkippedShards)
+	if s.DirectionSwitched {
+		j.directionSwitches.Add(1)
+	}
+	j.hubSplitTasks.Add(s.HubSplitTasks)
 	j.lastActive.Store(s.Active)
 	j.lastRan.Store(s.Ran)
 	j.lastFrontier.Store(s.NextFrontier)
@@ -169,6 +175,8 @@ func (j *JobCollector) Snapshot() map[string]int64 {
 		"ipregel_early_delivered_batches_total": int64(j.earlyBatches.Load()),
 		"ipregel_stolen_tasks_total":            j.stolenTasks.Load(),
 		"ipregel_skipped_shards_total":          j.skippedShards.Load(),
+		"ipregel_direction_switches_total":      j.directionSwitches.Load(),
+		"ipregel_hub_split_tasks_total":         j.hubSplitTasks.Load(),
 		"ipregel_vertices_ran_total":            j.verticesRan.Load(),
 		"ipregel_current_superstep":             j.currentSuperstep.Load(),
 		"ipregel_last_active_vertices":          j.lastActive.Load(),

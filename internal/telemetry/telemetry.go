@@ -66,6 +66,8 @@ type Collector struct {
 	earlyBatches                     atomic.Uint64
 	stolenTasks                      atomic.Int64
 	skippedShards                    atomic.Int64
+	directionSwitches                atomic.Int64
+	hubSplitTasks                    atomic.Int64
 	verticesRan                      atomic.Int64
 	recoveries                       atomic.Int64
 
@@ -131,6 +133,10 @@ func (c *Collector) OnSuperstepEnd(superstep int, s core.StepStats) {
 	c.earlyBatches.Add(s.EarlyDeliveredBatches)
 	c.stolenTasks.Add(s.StolenTasks)
 	c.skippedShards.Add(s.SkippedShards)
+	if s.DirectionSwitched {
+		c.directionSwitches.Add(1)
+	}
+	c.hubSplitTasks.Add(s.HubSplitTasks)
 	c.lastShardImbMil.Store(int64(s.ShardImbalance() * 1000))
 	c.sampleHeap()
 }
@@ -207,6 +213,8 @@ func (c *Collector) Snapshot() map[string]int64 {
 		"ipregel_early_delivered_batches_total": int64(c.earlyBatches.Load()),
 		"ipregel_stolen_tasks_total":            c.stolenTasks.Load(),
 		"ipregel_skipped_shards_total":          c.skippedShards.Load(),
+		"ipregel_direction_switches_total":      c.directionSwitches.Load(),
+		"ipregel_hub_split_tasks_total":         c.hubSplitTasks.Load(),
 		"ipregel_last_shard_imbalance_millis":   c.lastShardImbMil.Load(),
 		"ipregel_vertices_ran_total":            c.verticesRan.Load(),
 		"ipregel_current_superstep":             c.currentSuperstep.Load(),

@@ -155,6 +155,26 @@ func TestWriteMetricsFormat(t *testing.T) {
 	}
 }
 
+// TestCollectorDirectionCounters feeds the collector supersteps with
+// direction switches and hub-split tasks and checks the dedicated
+// counters accumulate them.
+func TestCollectorDirectionCounters(t *testing.T) {
+	c := NewCollector()
+	c.OnSuperstepStart(0)
+	c.OnSuperstepEnd(0, core.StepStats{Ran: 4, Direction: core.DirectionPull})
+	c.OnSuperstepStart(1)
+	c.OnSuperstepEnd(1, core.StepStats{Ran: 4, Direction: core.DirectionPush, DirectionSwitched: true, HubSplitTasks: 5})
+	c.OnSuperstepStart(2)
+	c.OnSuperstepEnd(2, core.StepStats{Ran: 4, Direction: core.DirectionPull, DirectionSwitched: true, HubSplitTasks: 2})
+	snap := c.Snapshot()
+	if got := snap["ipregel_direction_switches_total"]; got != 2 {
+		t.Fatalf("ipregel_direction_switches_total = %d, want 2", got)
+	}
+	if got := snap["ipregel_hub_split_tasks_total"]; got != 7 {
+		t.Fatalf("ipregel_hub_split_tasks_total = %d, want 7", got)
+	}
+}
+
 func TestCollectorConcurrent(t *testing.T) {
 	// The counter set must stay race-free when several engines feed one
 	// collector while scrapers snapshot it (run under -race in CI).

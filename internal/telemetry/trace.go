@@ -55,6 +55,12 @@ type Event struct {
 	EarlyDeliveredBatches uint64   `json:"early_delivered_batches,omitempty"`
 	StolenTasks           int64    `json:"stolen_tasks,omitempty"`
 	SkippedShards         int64    `json:"skipped_shards,omitempty"`
+	// direction model (Config.Direction / Config.HubSplit); Direction is
+	// the core.Direction name and omitted when push (the zero direction),
+	// so pre-direction traces replay unchanged.
+	Direction         string `json:"direction,omitempty"`
+	DirectionSwitched bool   `json:"direction_switched,omitempty"`
+	HubSplitTasks     int64  `json:"hub_split_tasks,omitempty"`
 
 	// abort
 	Reason string `json:"reason,omitempty"`
@@ -127,6 +133,11 @@ func (t *TraceWriter) OnSuperstepEnd(superstep int, s core.StepStats) {
 		DurationNS:    int64(s.Duration),
 		Partial:       s.Partial,
 	}
+	if s.Direction != core.DirectionPush {
+		ev.Direction = s.Direction.String()
+	}
+	ev.DirectionSwitched = s.DirectionSwitched
+	ev.HubSplitTasks = s.HubSplitTasks
 	if len(s.WorkerBusy) > 0 {
 		ev.WorkerBusyNS = make([]int64, len(s.WorkerBusy))
 		for i, b := range s.WorkerBusy {
@@ -253,6 +264,15 @@ func ReplayReport(events []Event) (core.Report, error) {
 				Duration:      time.Duration(ev.DurationNS),
 				Partial:       ev.Partial,
 			}
+			if ev.Direction != "" {
+				dir, err := core.ParseDirection(ev.Direction)
+				if err != nil {
+					return core.Report{}, fmt.Errorf("telemetry: superstep %d: %w", ev.Superstep, err)
+				}
+				step.Direction = dir
+			}
+			step.DirectionSwitched = ev.DirectionSwitched
+			step.HubSplitTasks = ev.HubSplitTasks
 			if len(ev.ShardMessages) > 0 {
 				step.ShardMessages = append([]uint64(nil), ev.ShardMessages...)
 				step.CrossShardMessages = ev.CrossShardMessages

@@ -149,6 +149,59 @@ func TestTraceOverlapFieldsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceDirectionFieldsRoundTrip checks the per-step direction
+// fields survive encode → ReadTrace → replay: a pull superstep, a
+// switch back to push, and hub-split task counts. Push is the omitted
+// default on the wire, so a pre-direction trace replays as all-push.
+func TestTraceDirectionFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	steps := []core.StepStats{
+		{Ran: 8, Messages: 10, Active: 8, Direction: core.DirectionPull},
+		{Ran: 8, Messages: 6, Active: 8, Direction: core.DirectionPush, DirectionSwitched: true, HubSplitTasks: 3},
+		{Ran: 6, Messages: 0, Active: 0, Direction: core.DirectionPush},
+	}
+	for i, s := range steps {
+		tw.OnSuperstepStart(i)
+		tw.OnSuperstepEnd(i, s)
+	}
+	tw.OnRunEnd(core.Report{Supersteps: 3, TotalMessages: 16, Converged: true}, nil)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := buf.String()
+	if !strings.Contains(raw, `"direction":"pull"`) {
+		t.Fatalf("trace does not record the pull superstep's direction:\n%s", raw)
+	}
+	if !strings.Contains(raw, `"direction_switched":true`) {
+		t.Fatalf("trace does not record the direction switch:\n%s", raw)
+	}
+	if strings.Contains(raw, `"direction":"push"`) {
+		t.Fatalf("push should be the omitted default on the wire:\n%s", raw)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Steps) != len(steps) {
+		t.Fatalf("replayed %d steps, want %d", len(replay.Steps), len(steps))
+	}
+	for i, got := range replay.Steps {
+		want := steps[i]
+		if got.Direction != want.Direction || got.DirectionSwitched != want.DirectionSwitched || got.HubSplitTasks != want.HubSplitTasks {
+			t.Fatalf("step %d: replayed direction %v/%v/%d, want %v/%v/%d", i,
+				got.Direction, got.DirectionSwitched, got.HubSplitTasks,
+				want.Direction, want.DirectionSwitched, want.HubSplitTasks)
+		}
+	}
+}
+
 func TestTraceAbortedRun(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewTraceWriter(&buf)
@@ -219,11 +272,11 @@ func TestReadTraceRejects(t *testing.T) {
 	}
 
 	cases := map[string]string{
-		"empty":     "",
-		"not-json":  "pregel",
-		"schema":    `{"schema":"ipregel-trace/999","type":"run_start"}`,
-		"bad-type":  `{"schema":"ipregel-trace/1","type":"wibble"}`,
-		"gap":       `{"schema":"ipregel-trace/1","type":"superstep","superstep":0}` + "\n" + `{"schema":"ipregel-trace/1","type":"superstep","superstep":2}`,
+		"empty":    "",
+		"not-json": "pregel",
+		"schema":   `{"schema":"ipregel-trace/999","type":"run_start"}`,
+		"bad-type": `{"schema":"ipregel-trace/1","type":"wibble"}`,
+		"gap":      `{"schema":"ipregel-trace/1","type":"superstep","superstep":0}` + "\n" + `{"schema":"ipregel-trace/1","type":"superstep","superstep":2}`,
 		"post-partial": `{"schema":"ipregel-trace/1","type":"superstep","superstep":0,"partial":true}` + "\n" +
 			`{"schema":"ipregel-trace/1","type":"superstep","superstep":1}`,
 		"restart": `{"schema":"ipregel-trace/1","type":"run_start","first_superstep":4}` + "\n" +
